@@ -1,0 +1,119 @@
+// Command domainobs runs the Section 5.1 control-plane analysis of
+// booter domains: weekly zone snapshots, keyword identification, Alexa
+// Top 1M ranks by month (Figure 3), and the post-takedown re-emergence
+// of booter A under a new domain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"booterscope/internal/core"
+	"booterscope/internal/netutil"
+	"booterscope/internal/textplot"
+	"booterscope/internal/webobs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("domainobs: ")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	study := core.NewDomainStudy(core.Options{Seed: *seed})
+
+	booters := study.IdentifiedBooters()
+	fmt.Printf("verified booter domains in .com/.net/.org zones: %d (paper: 58)\n", len(booters))
+
+	first, atTakedown, last := study.PopulationGrowth()
+	fmt.Printf("booter domain population: %d (Jan 2018) -> %d (Dec 2018) -> %d (May 2019)\n",
+		first, atTakedown, last)
+
+	fmt.Println("\n== Figure 3: booter domains in the Alexa Top 1M by month ==")
+	rows := study.Figure3()
+	perMonth := map[time.Time][2]int{} // [all, seized]
+	for _, row := range rows {
+		c := perMonth[row.Month]
+		c[0]++
+		if row.Seized {
+			c[1]++
+		}
+		perMonth[row.Month] = c
+	}
+	month := core.DomainStudyStart
+	var chart textplot.BarChart
+	chart.Width = 50
+	for !month.After(core.DomainStudyEnd) {
+		m := time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)
+		c := perMonth[m]
+		chart.Add(fmt.Sprintf("%s (%d seized)", m.Format("2006-01"), c[1]), float64(c[0]))
+		month = month.AddDate(0, 1, 0)
+	}
+	fmt.Print(chart.Render())
+
+	fmt.Println("\n== Booter domains activated within a week of the takedown ==")
+	for _, d := range study.SuccessorDomains() {
+		successor := ""
+		if d.SuccessorOf != "" {
+			successor = fmt.Sprintf(" (successor of seized %s)", d.SuccessorOf)
+		}
+		fmt.Printf("%s activated %s, registered %s%s\n",
+			d.Name, d.Activated.Format("2006-01-02"), d.Registered.Format("2006-01-02"), successor)
+	}
+
+	certLandscape(booters, *seed)
+}
+
+// certLandscape reproduces the TLS-certificate view of the booter
+// ecosystem (Kuhnert et al.): booter sites cluster on free ACME
+// certificates, CDN fronting, and self-signed certificates.
+func certLandscape(booters []string, seed uint64) {
+	fmt.Println("\n== TLS certificates of booter websites ==")
+	r := netutil.NewRand(seed).Fork("certs")
+	notBefore := core.TakedownDate.AddDate(0, -2, 0)
+	var snaps []*webobs.Snapshot
+	for _, domain := range booters {
+		profile := webobs.CertFreeACME
+		switch u := r.Float64(); {
+		case u < 0.20:
+			profile = webobs.CertCDNFronted
+		case u < 0.38:
+			profile = webobs.CertSelfSigned
+		case u < 0.41:
+			profile = webobs.CertCommercial
+		}
+		cert, _, err := webobs.GenerateCert(domain, profile, notBefore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snaps = append(snaps, &webobs.Snapshot{Domain: domain, Cert: cert})
+	}
+	stats := webobs.AnalyzeCerts(snaps)
+	var chart textplot.BarChart
+	issuers := make([]string, 0, len(stats.ByIssuer))
+	for issuer := range stats.ByIssuer {
+		issuers = append(issuers, issuer)
+	}
+	sort.Slice(issuers, func(i, j int) bool { return stats.ByIssuer[issuers[i]] > stats.ByIssuer[issuers[j]] })
+	shown := 0
+	selfSignedCount := 0
+	for _, issuer := range issuers {
+		// Self-signed certs each have a unique issuer (the domain);
+		// aggregate them into one row.
+		if stats.ByIssuer[issuer] == 1 && shown >= 3 {
+			selfSignedCount += stats.ByIssuer[issuer]
+			continue
+		}
+		chart.Add(issuer, float64(stats.ByIssuer[issuer]))
+		shown++
+	}
+	if selfSignedCount > 0 {
+		chart.Add("(self-signed, per-domain issuers)", float64(selfSignedCount))
+	}
+	fmt.Print(chart.Render())
+	fmt.Printf("self-signed share: %.0f%%, short-lived (<=90d): %d/%d\n",
+		stats.SelfSignedShare()*100, stats.ShortLived, stats.Total)
+}

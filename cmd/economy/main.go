@@ -1,0 +1,82 @@
+// Command economy simulates the booter market around the FBI takedown —
+// the paper's closing future-work question about law-enforcement effects
+// on booter financing — and prints subscriber, revenue, and attack-demand
+// series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"booterscope/internal/core"
+	"booterscope/internal/economy"
+	"booterscope/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("economy: ")
+	var (
+		seed = flag.Uint64("seed", 1, "random seed")
+		days = flag.Int("days", 120, "simulated days (takedown sits mid-window)")
+	)
+	flag.Parse()
+
+	start := core.TakedownDate.AddDate(0, 0, -*days/2)
+	market := economy.NewMarket(economy.Config{
+		Start:    start,
+		Days:     *days,
+		Takedown: core.TakedownDate,
+		Seed:     *seed,
+	})
+	stats := market.Run()
+
+	fmt.Printf("booter market, %d days around the %s takedown\n\n",
+		*days, core.TakedownDate.Format("2006-01-02"))
+
+	series := func(pick func(economy.DayStats) float64) []float64 {
+		out := make([]float64, len(stats))
+		for i, s := range stats {
+			out[i] = pick(s)
+		}
+		return out
+	}
+	eventIdx := -1
+	for i, s := range stats {
+		if !s.Day.Before(core.TakedownDate) {
+			eventIdx = i
+			break
+		}
+	}
+
+	fmt.Println("daily revenue, seized booters (A+B):")
+	fmt.Println(textplot.TimeSeries{Values: series(func(d economy.DayStats) float64 {
+		return d.RevenueByService["A"] + d.RevenueByService["B"]
+	}), EventIndex: eventIdx, Width: 72}.Render())
+
+	fmt.Println("\ndaily revenue, surviving booters (C+D):")
+	fmt.Println(textplot.TimeSeries{Values: series(func(d economy.DayStats) float64 {
+		return d.RevenueByService["C"] + d.RevenueByService["D"]
+	}), EventIndex: eventIdx, Width: 72}.Render())
+
+	fmt.Println("\naggregate attack demand (attacks/day):")
+	fmt.Println(textplot.TimeSeries{Values: series(func(d economy.DayStats) float64 {
+		return d.AttackDemand
+	}), EventIndex: eventIdx, Width: 72}.Render())
+
+	impact, err := economy.Impact(stats, core.TakedownDate, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n±14-day impact: %v\n", impact)
+
+	last := stats[len(stats)-1]
+	fmt.Println("\nsubscribers at end of window:")
+	var chart textplot.BarChart
+	for _, row := range market.MigrationMatrix(last.Day.Add(24 * time.Hour)) {
+		chart.Add("booter "+row.Service, float64(row.Count))
+	}
+	fmt.Print(chart.Render())
+}

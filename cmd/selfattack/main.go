@@ -1,0 +1,153 @@
+// Command selfattack runs the Section 3 self-attack experiments: it
+// purchases attacks from the four modeled booter services, launches them
+// against the measurement AS at the simulated IXP, and prints Table 1
+// and the data behind Figures 1(a), 1(b), and 1(c).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/core"
+	"booterscope/internal/observatory"
+	"booterscope/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("selfattack: ")
+	var (
+		seed     = flag.Uint64("seed", 1, "random seed (results are deterministic per seed)")
+		duration = flag.Duration("duration", 60*time.Second, "duration of each non-VIP attack")
+		pcapOut  = flag.String("pcap", "", "write a pcap of sampled attack packets from one extra booter A NTP run")
+	)
+	flag.Parse()
+
+	study, err := core.NewSelfAttackStudy(core.Options{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printTable1(study)
+	fig1a(study, *duration)
+	fig1b(study)
+	fig1c(study)
+	if *pcapOut != "" {
+		writeCapture(study, *pcapOut)
+	}
+}
+
+// writeCapture runs one extra attack with packet capture enabled.
+func writeCapture(study *core.SelfAttackStudy, path string) {
+	svc, err := booter.ServiceByName("A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	atk, err := study.Engine.Launch(booter.Order{
+		Service:  svc,
+		Vector:   amplify.NTP,
+		Target:   study.Obs.NextTargetIP(),
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := study.Obs.RunAttack(atk, core.SelfAttackStart, observatory.CaptureOptions{
+		Writer: f, PacketsPerSecond: 32,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s: sampled monlist response packets (486/490-byte, UDP/123)\n", path)
+}
+
+func printTable1(study *core.SelfAttackStudy) {
+	fmt.Println("== Table 1: booters used to attack our measurement AS ==")
+	fmt.Printf("%-8s %-7s %-30s %10s %10s\n", "Booter", "Seized", "Vectors", "non-VIP $", "VIP $")
+	for _, row := range study.Table1() {
+		seized := ""
+		if row.Seized {
+			seized = "yes"
+		}
+		var vecs []string
+		for _, v := range row.Vectors {
+			vecs = append(vecs, v.String())
+		}
+		fmt.Printf("%-8s %-7s %-30s %10.2f %10.2f\n",
+			row.Booter, seized, strings.Join(vecs, ","), row.PriceNonVIP, row.PriceVIP)
+	}
+	fmt.Println()
+}
+
+func fig1a(study *core.SelfAttackStudy, duration time.Duration) {
+	fmt.Println("== Figure 1(a): non-VIP self-attacks ==")
+	results, err := study.RunNonVIPAttacks(duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-32s %10s %10s %8s %8s %10s\n",
+		"attack", "mean Mbps", "peak Mbps", "refl", "peers", "transit %")
+	var reports []*observatory.Report
+	for _, res := range results {
+		r := res.Report
+		fmt.Printf("%-32s %10.0f %10.0f %8d %8d %10.1f\n",
+			res.Label, r.MeanMbps(), r.PeakMbps(), r.MaxReflectors(), r.MaxPeers(), r.TransitShare*100)
+		reports = append(reports, r)
+	}
+	points := observatory.Figure1aData(reports)
+	fmt.Printf("(%d per-second scatter points; use -v for the full dump)\n\n", len(points))
+}
+
+func fig1b(study *core.SelfAttackStudy) {
+	fmt.Println("== Figure 1(b): VIP attacks, 5 minutes each ==")
+	results, err := study.RunVIPAttacks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		r := res.Report
+		fmt.Printf("%-24s peak %6.2f Gbps  mean %6.2f Gbps  transit %5.1f%%  BGP flaps %d\n",
+			res.Label, r.PeakMbps()/1000, r.MeanMbps()/1000, r.TransitShare*100, r.Flaps)
+		values := make([]float64, len(r.Samples))
+		for i, s := range r.Samples {
+			values[i] = s.Mbps
+		}
+		fmt.Printf("  %s\n", textplot.Sparkline(textplot.Downsample(values, 75)))
+	}
+	fmt.Println()
+}
+
+func fig1c(study *core.SelfAttackStudy) {
+	fmt.Println("== Figure 1(c): overlap of NTP reflectors over time ==")
+	res, err := study.RunReflectorOverlap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d self-attacks, %d unique reflectors in total\n", len(res.Labels), res.TotalUniqueReflectors)
+	w := new(strings.Builder)
+	fmt.Fprintf(w, "%-18s", "")
+	for i := range res.Labels {
+		fmt.Fprintf(w, " %4d", i)
+	}
+	fmt.Fprintln(w)
+	for i, label := range res.Labels {
+		fmt.Fprintf(w, "%-18s", label)
+		for j := range res.Labels {
+			fmt.Fprintf(w, " %4.2f", res.Matrix[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	if _, err := fmt.Fprint(os.Stdout, w.String()); err != nil {
+		log.Fatal(err)
+	}
+}

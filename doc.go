@@ -1,0 +1,17 @@
+// Package booterscope is a from-scratch Go reproduction of "DDoS Hide &
+// Seek: On the Effectiveness of a Booter Services Takedown" (Kopp et
+// al., ACM IMC 2019).
+//
+// The library spans the full measurement stack the paper depends on —
+// packet codecs, NetFlow/IPFIX export, packet sampling, prefix-preserving
+// anonymization, a BGP/IXP fabric, amplification protocol engines, booter
+// service models, vantage-point traffic synthesis, DDoS classification,
+// and the Welch-test takedown analysis — and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// Entry points live in internal/core (the study APIs), cmd/ (per-figure
+// executables), and examples/ (library walkthroughs). The root
+// bench_test.go maps each table and figure to a benchmark.
+package booterscope

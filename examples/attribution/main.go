@@ -1,0 +1,108 @@
+// Attribution: an investigation workflow built from the related-work
+// systems the paper cites — honeypot sensors observe wild attacks,
+// self-attack fingerprints attribute them to booters, and a seized
+// service's leaked database corroborates the attribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/booterdb"
+	"booterscope/internal/honeypot"
+	"booterscope/internal/reflector"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One shared NTP reflector universe: booters draw working sets from
+	// it, and 600 of its "reflectors" are secretly our sensors.
+	pool := reflector.NewPool(amplify.NTP, 20000, 300, 77)
+	sensors := honeypot.NewDeployment(pool, 600, 77)
+	engine := booter.NewEngine(map[amplify.Vector]*reflector.Pool{amplify.NTP: pool}, 77)
+	start := time.Date(2018, 11, 1, 0, 0, 0, 0, time.UTC)
+
+	// Phase 1 — training: short self-attacks teach each booter tool's
+	// trigger fingerprint.
+	attributor := honeypot.NewAttributor()
+	for _, name := range []string{"A", "B", "C"} {
+		svc, err := booter.ServiceByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		atk, err := engine.Launch(booter.Order{
+			Service: svc, Vector: amplify.NTP,
+			Target:   netip.MustParseAddr("203.0.113.250"),
+			Duration: 30 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		attributor.TrainFromSelfAttack(atk)
+	}
+	fmt.Println("trained fingerprints for booters A, B, C (self-attacks)")
+
+	// Phase 2 — observation: wild attacks hit victims; sensors inside
+	// the booters' working sets log the spoofed triggers.
+	wild := []struct {
+		booter string
+		victim string
+	}{
+		{"A", "198.51.100.10"}, {"B", "198.51.100.20"}, {"B", "198.51.100.21"},
+		{"C", "198.51.100.30"}, {"D", "198.51.100.40"}, // D was never trained
+	}
+	for i, w := range wild {
+		svc, err := booter.ServiceByName(w.booter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		atk, err := engine.Launch(booter.Order{
+			Service: svc, Vector: amplify.NTP,
+			Target:   netip.MustParseAddr(w.victim),
+			Duration: 90 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits := sensors.ObserveAttack(atk, start.Add(time.Duration(i)*time.Hour))
+		fmt.Printf("wild attack on %-15s observed by %d sensors\n", w.victim, hits)
+	}
+
+	// Phase 3 — reconstruction and attribution.
+	observations := sensors.Reconstruct()
+	report := attributor.Report(observations)
+	fmt.Printf("\nreconstructed %d attacks; attributed %d (%.0f%%)\n",
+		report.Total, report.Attributed, report.Rate()*100)
+	for _, obs := range observations {
+		name := attributor.Attribute(obs)
+		if name == "" {
+			name = "unknown tool"
+		}
+		fmt.Printf("  %v  %v  %2d sensors  %4.0fs  -> booter %s\n",
+			obs.Start.Format("15:04"), obs.Victim, obs.Sensors, obs.Duration().Seconds(), name)
+	}
+
+	// Phase 4 — corroboration: booter B's seized database confirms its
+	// panel logged attacks against the victims we attributed to it.
+	svcB, err := booter.ServiceByName("B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := booterdb.Generate(svcB, booterdb.GenerateConfig{
+		Start: start.AddDate(0, -6, 0), Days: 200, Users: 1200, Seed: 77,
+	})
+	fmt.Printf("\nseized database of booter B: %d users, %d attacks, $%.0f revenue\n",
+		len(db.Users), len(db.Attacks), db.TotalRevenue())
+	fmt.Printf("top 10%% of B's customers launched %.0f%% of its attacks\n",
+		db.PowerUserShare(0.1)*100)
+	top := db.TopTargets(3)
+	fmt.Println("most-attacked victims in the leak:")
+	for _, tc := range top {
+		fmt.Printf("  %-18s %4d attacks\n", tc.Target, tc.Count)
+	}
+}

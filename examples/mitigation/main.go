@@ -1,0 +1,115 @@
+// Mitigation: the operational scenario from the paper's ethics section —
+// run a self-attack with an automatic RTBH safety valve that blackholes
+// the target once the attack threatens the platform, then watch traffic
+// stop at the neighbors' edges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"net/netip"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/bgp"
+	"booterscope/internal/booter"
+	"booterscope/internal/core"
+	"booterscope/internal/observatory"
+	"booterscope/internal/packet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := core.NewSelfAttackStudy(core.Options{Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := booter.ServiceByName("B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := study.Obs.NextTargetIP()
+	atk, err := study.Engine.Launch(booter.Order{
+		Service:  svc,
+		Vector:   amplify.NTP,
+		Tier:     booter.VIP, // 20 Gbps offered: guaranteed to trip the valve
+		Target:   target,
+		Duration: 2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const safetyGbps = 8.0
+	blackholedAt := -1
+	opts := observatory.CaptureOptions{OnSample: func(s observatory.SecondSample) {
+		if blackholedAt < 0 && s.Mbps/1000 > safetyGbps {
+			if err := study.Obs.Fabric.AnnounceBlackhole(target); err != nil {
+				log.Fatal(err)
+			}
+			blackholedAt = s.Second
+		}
+	}}
+	rep, err := study.Obs.RunAttack(atk, core.SelfAttackStart, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("VIP NTP attack against %v with an RTBH valve at %.0f Gbps\n", target, safetyGbps)
+	if blackholedAt < 0 {
+		fmt.Println("valve never triggered")
+		return
+	}
+	fmt.Printf("blackhole (65535:666) announced at second %d\n", blackholedAt)
+	var beforePeak float64
+	dropped := 0
+	for _, s := range rep.Samples {
+		if !s.Blackholed && s.Mbps > beforePeak {
+			beforePeak = s.Mbps
+		}
+		if s.Blackholed {
+			dropped++
+		}
+	}
+	fmt.Printf("peak before mitigation: %.1f Gbps\n", beforePeak/1000)
+	fmt.Printf("seconds dropped at the neighbors' edges: %d of %d\n", dropped, len(rep.Samples))
+	if err := study.Obs.Fabric.WithdrawBlackhole(target); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("blackhole withdrawn; normal routing restored")
+
+	// The surgical alternative: a FlowSpec rule discards only the
+	// NTP amplification traffic; the victim stays reachable.
+	fmt.Println("\n-- FlowSpec instead of RTBH --")
+	target2 := study.Obs.NextTargetIP()
+	rule := bgp.FlowSpecRule{
+		Dst:          netip.PrefixFrom(target2, 32),
+		Protocol:     packet.IPProtoUDP,
+		SrcPort:      123,
+		MinPacketLen: 200,
+	}
+	if err := study.Obs.Fabric.AnnounceFlowSpec(rule); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("announced: %v\n", rule)
+	atk2, err := study.Engine.Launch(booter.Order{
+		Service:  svc,
+		Vector:   amplify.NTP,
+		Tier:     booter.VIP,
+		Target:   target2,
+		Duration: time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := study.Obs.RunAttack(atk2, core.SelfAttackStart.Add(time.Hour), observatory.CaptureOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack traffic reaching the victim: %.2f Gbps (peak)\n", rep2.PeakMbps()/1000)
+	fmt.Printf("attack traffic discarded at the edges: %.1f Gbps (peak)\n", rep2.PeakFilteredMbps()/1000)
+	fmt.Println("the victim remains reachable for everything else — unlike RTBH,")
+	fmt.Println("which completes the attacker's job by dropping all traffic.")
+}

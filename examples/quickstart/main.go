@@ -1,0 +1,57 @@
+// Quickstart: buy one booter attack against your own measurement AS and
+// read the post-mortem — the smallest end-to-end use of booterscope.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/core"
+	"booterscope/internal/observatory"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A self-attack study wires up the whole stack: an IXP fabric with
+	// 400 member ASes, a route server, a transit provider, a measurement
+	// AS announcing a /24, reflector pools, and the booter engine.
+	study, err := core.NewSelfAttackStudy(core.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Order a 60-second NTP attack from booter "A" against a fresh IP
+	// out of the measurement prefix.
+	svc, err := booter.ServiceByName("A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	atk, err := study.Engine.Launch(booter.Order{
+		Service:  svc,
+		Vector:   amplify.NTP,
+		Tier:     booter.NonVIP,
+		Target:   study.Obs.NextTargetIP(),
+		Duration: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run it through the IXP and analyze what arrived.
+	report, err := study.Obs.RunAttack(atk, core.SelfAttackStart, observatory.CaptureOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("booter %s NTP attack against %v\n", report.Booter, report.Target)
+	fmt.Printf("  mean rate:       %8.0f Mbps\n", report.MeanMbps())
+	fmt.Printf("  peak rate:       %8.0f Mbps\n", report.PeakMbps())
+	fmt.Printf("  reflectors used: %8d\n", report.MaxReflectors())
+	fmt.Printf("  peer ASes:       %8d\n", report.MaxPeers())
+	fmt.Printf("  via transit:     %7.1f%%\n", report.TransitShare*100)
+	fmt.Printf("  IXP flow records (sampled): %d\n", len(report.PlatformRecords))
+}

@@ -1,0 +1,80 @@
+// Vipbenchmark: the scenario the paper's Section 3.2 motivates — a buyer
+// wants to know whether a booter's premium (VIP) tier is worth the
+// price. The example launches the same NTP attack at both tiers, writes
+// a pcap of the VIP run, and compares delivered rates against the
+// advertised ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/core"
+	"booterscope/internal/observatory"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := core.NewSelfAttackStudy(core.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := booter.ServiceByName("B")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(tier booter.Tier, captureTo string) *observatory.Report {
+		atk, err := study.Engine.Launch(booter.Order{
+			Service:  svc,
+			Vector:   amplify.NTP,
+			Tier:     tier,
+			Target:   study.Obs.NextTargetIP(),
+			Duration: 5 * time.Minute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := observatory.CaptureOptions{}
+		var f *os.File
+		if captureTo != "" {
+			f, err = os.Create(captureTo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			opts.Writer = f
+			opts.PacketsPerSecond = 4
+		}
+		rep, err := study.Obs.RunAttack(atk, core.SelfAttackStart, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	nonVIP := run(booter.NonVIP, "")
+	vip := run(booter.VIP, "vip-attack.pcap")
+
+	const advertisedVIPGbps = 80.0 // booter B promises 80–100 Gbps
+	fmt.Printf("booter B NTP, advertised VIP rate: %.0f Gbps for $%.2f\n", advertisedVIPGbps, svc.PriceVIP)
+	fmt.Printf("%-10s %12s %12s %13s %10s %8s\n", "tier", "mean Gbps", "peak Gbps", "offered Gbps", "refl", "flaps")
+	for _, row := range []struct {
+		name string
+		rep  *observatory.Report
+	}{{"non-VIP", nonVIP}, {"VIP", vip}} {
+		fmt.Printf("%-10s %12.2f %12.2f %13.2f %10d %8d\n",
+			row.name, row.rep.MeanMbps()/1000, row.rep.PeakMbps()/1000,
+			row.rep.PeakOfferedMbps()/1000, row.rep.MaxReflectors(), row.rep.Flaps)
+	}
+	fmt.Printf("\nVIP generates %.0f%% of the advertised rate (the paper measured ~25%%),\n",
+		vip.PeakOfferedMbps()/1000/advertisedVIPGbps*100)
+	fmt.Println("measured from the IXP's sampled traces since it exceeds the 10GE port.")
+	fmt.Println("VIP and non-VIP reflector sets are identical; the premium is packet rate.")
+	fmt.Println("wrote vip-attack.pcap with sampled attack packets (486/490-byte monlist responses)")
+}

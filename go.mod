@@ -1,0 +1,3 @@
+module booterscope
+
+go 1.22

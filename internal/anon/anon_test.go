@@ -1,0 +1,162 @@
+package anon
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"booterscope/internal/netutil"
+)
+
+func testKey() []byte {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	return key
+}
+
+func TestNewCryptoPAnKeyLength(t *testing.T) {
+	if _, err := NewCryptoPAn(make([]byte, 16)); err == nil {
+		t.Error("expected error for short key")
+	}
+	if _, err := NewCryptoPAn(testKey()); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+}
+
+func TestCryptoPAnDeterministic(t *testing.T) {
+	a, _ := NewCryptoPAn(testKey())
+	b, _ := NewCryptoPAn(testKey())
+	addr := netip.MustParseAddr("203.0.113.77")
+	if a.Anonymize(addr) != b.Anonymize(addr) {
+		t.Error("same key produced different mappings")
+	}
+	if a.Anonymize(addr) != a.Anonymize(addr) {
+		t.Error("mapping not stable across calls")
+	}
+}
+
+func TestCryptoPAnDifferentKeys(t *testing.T) {
+	a, _ := NewCryptoPAn(testKey())
+	otherKey := testKey()
+	otherKey[0] ^= 0xff
+	b, _ := NewCryptoPAn(otherKey)
+	addr := netip.MustParseAddr("203.0.113.77")
+	if a.Anonymize(addr) == b.Anonymize(addr) {
+		t.Error("different keys produced identical mapping (unlikely)")
+	}
+}
+
+// commonPrefixLen counts leading bits shared by two IPv4 addresses.
+func commonPrefixLen(a, b netip.Addr) int {
+	x := netutil.Addr4Val(a) ^ netutil.Addr4Val(b)
+	n := 0
+	for i := 31; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func TestCryptoPAnPrefixPreserving(t *testing.T) {
+	c, _ := NewCryptoPAn(testKey())
+	f := func(a, b uint32) bool {
+		addrA, addrB := netutil.Addr4(a), netutil.Addr4(b)
+		before := commonPrefixLen(addrA, addrB)
+		after := commonPrefixLen(c.Anonymize(addrA), c.Anonymize(addrB))
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCryptoPAnSameSubnetStructure(t *testing.T) {
+	c, _ := NewCryptoPAn(testKey())
+	// Addresses in the same /24 must anonymize into the same /24.
+	a := c.Anonymize(netip.MustParseAddr("198.51.100.10"))
+	b := c.Anonymize(netip.MustParseAddr("198.51.100.200"))
+	if commonPrefixLen(a, b) < 24 {
+		t.Errorf("same /24 anonymized to %v and %v (shared prefix %d)", a, b, commonPrefixLen(a, b))
+	}
+}
+
+func TestCryptoPAnInjective(t *testing.T) {
+	c, _ := NewCryptoPAn(testKey())
+	seen := make(map[netip.Addr]netip.Addr)
+	for i := uint32(0); i < 2000; i++ {
+		in := netutil.Addr4(0xc6336400 + i) // spans several /24s
+		out := c.Anonymize(in)
+		if prev, dup := seen[out]; dup {
+			t.Fatalf("collision: %v and %v both map to %v", prev, in, out)
+		}
+		seen[out] = in
+	}
+}
+
+func TestCryptoPAnActuallyChangesAddresses(t *testing.T) {
+	c, _ := NewCryptoPAn(testKey())
+	changed := 0
+	for i := uint32(0); i < 256; i++ {
+		in := netutil.Addr4(0x0a000000 + i)
+		if c.Anonymize(in) != in {
+			changed++
+		}
+	}
+	if changed < 200 {
+		t.Errorf("only %d/256 addresses changed", changed)
+	}
+}
+
+func TestCryptoPAnIPv6PassThrough(t *testing.T) {
+	c, _ := NewCryptoPAn(testKey())
+	v6 := netip.MustParseAddr("2001:db8::1")
+	if got := c.Anonymize(v6); got != v6 {
+		t.Errorf("IPv6 address modified: %v", got)
+	}
+}
+
+func TestCryptoPAnMappedIPv4(t *testing.T) {
+	c, _ := NewCryptoPAn(testKey())
+	plain := netip.MustParseAddr("192.0.2.1")
+	mapped := netip.AddrFrom16(netip.MustParseAddr("::ffff:192.0.2.1").As16())
+	if c.Anonymize(plain) != c.Anonymize(mapped) {
+		t.Error("mapped and plain IPv4 anonymize differently")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tr := Truncate{Bits: 24}
+	got := tr.Anonymize(netip.MustParseAddr("198.51.100.77"))
+	if got != netip.MustParseAddr("198.51.100.0") {
+		t.Errorf("truncated = %v", got)
+	}
+}
+
+func TestTruncateDefaults(t *testing.T) {
+	var tr Truncate // zero value: 24 bits
+	got := tr.Anonymize(netip.MustParseAddr("10.1.2.3"))
+	if got != netip.MustParseAddr("10.1.2.0") {
+		t.Errorf("default truncation = %v", got)
+	}
+}
+
+func TestTruncateFullWidth(t *testing.T) {
+	tr := Truncate{Bits: 32}
+	addr := netip.MustParseAddr("10.1.2.3")
+	if tr.Anonymize(addr) != addr {
+		t.Error("32-bit truncation modified address")
+	}
+}
+
+func BenchmarkCryptoPAn(b *testing.B) {
+	c, _ := NewCryptoPAn(testKey())
+	addr := netip.MustParseAddr("203.0.113.77")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Anonymize(addr)
+	}
+}

@@ -1,0 +1,115 @@
+package booter
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/amplify"
+)
+
+// Panel errors.
+var (
+	ErrConcurrentLimit = errors.New("booter: concurrent attack limit reached")
+	ErrSeizedService   = errors.New("booter: service seized, panel unreachable")
+)
+
+// Concurrent attack slots by tier — booter panels advertise
+// "concurrents" as a plan feature.
+const (
+	ConcurrentsNonVIP = 1
+	ConcurrentsVIP    = 3
+)
+
+// HistoryEntry is one attack as the panel's backend logs it — the rows
+// that later leak as the service's database.
+type HistoryEntry struct {
+	UserID   int
+	Target   netip.Addr
+	Vector   amplify.Vector
+	Tier     Tier
+	Duration time.Duration
+	Time     time.Time
+}
+
+// Panel is a booter's customer-facing attack panel: it enforces the
+// plan's concurrent-attack limits, refuses orders while the service is
+// seized, and keeps the backend attack log.
+type Panel struct {
+	Service *Service
+	engine  *Engine
+
+	running []time.Time // end times of in-flight attacks per slot use
+	history []HistoryEntry
+}
+
+// NewPanel opens a panel for one service on an engine.
+func NewPanel(svc *Service, engine *Engine) *Panel {
+	return &Panel{Service: svc, engine: engine}
+}
+
+// activeAt counts attacks still running at time t for a tier.
+func (p *Panel) activeAt(t time.Time) int {
+	n := 0
+	for _, end := range p.running {
+		if end.After(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// slots returns the tier's concurrent limit.
+func slots(tier Tier) int {
+	if tier == VIP {
+		return ConcurrentsVIP
+	}
+	return ConcurrentsNonVIP
+}
+
+// Launch places an order at time t, enforcing the panel's rules, and
+// returns the running attack.
+func (p *Panel) Launch(userID int, order Order, t time.Time) (*Attack, error) {
+	if p.Service.ActiveDomain() == "" {
+		return nil, ErrSeizedService
+	}
+	if order.Service == nil {
+		order.Service = p.Service
+	}
+	if order.Service.Name != p.Service.Name {
+		return nil, fmt.Errorf("booter: order for %s on %s's panel", order.Service.Name, p.Service.Name)
+	}
+	if p.activeAt(t) >= slots(order.Tier) {
+		return nil, ErrConcurrentLimit
+	}
+	atk, err := p.engine.Launch(order)
+	if err != nil {
+		return nil, err
+	}
+	p.running = append(p.running, t.Add(order.Duration))
+	p.compact(t)
+	p.history = append(p.history, HistoryEntry{
+		UserID:   userID,
+		Target:   order.Target,
+		Vector:   order.Vector,
+		Tier:     order.Tier,
+		Duration: order.Duration,
+		Time:     t,
+	})
+	return atk, nil
+}
+
+// compact drops finished slots.
+func (p *Panel) compact(t time.Time) {
+	kept := p.running[:0]
+	for _, end := range p.running {
+		if end.After(t) {
+			kept = append(kept, end)
+		}
+	}
+	p.running = kept
+}
+
+// History returns the backend attack log.
+func (p *Panel) History() []HistoryEntry { return p.history }

@@ -1,0 +1,114 @@
+package classify
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// Alert reports a victim newly crossing the conservative attack
+// thresholds — the event a live collector raises to operators.
+type Alert struct {
+	Victim netip.Addr
+	// Minute is the minute bin that crossed the thresholds.
+	Minute time.Time
+	// Gbps is the victim's rate in that minute.
+	Gbps float64
+	// Sources is the amplifier count in that minute.
+	Sources int
+}
+
+// String formats the alert as a log line.
+func (a Alert) String() string {
+	return fmt.Sprintf("%s ALERT %v under NTP amplification: %.2f Gbps from %d reflectors",
+		a.Minute.Format("2006-01-02 15:04"), a.Victim, a.Gbps, a.Sources)
+}
+
+// Monitor is the streaming counterpart of Classifier: it consumes flow
+// records as a collector receives them and emits one Alert per victim
+// when it first passes the conservative filter. State for minutes older
+// than the retention horizon is evicted, so a Monitor can run
+// indefinitely.
+type Monitor struct {
+	cfg Config
+	// Retention bounds how long minute state is kept (default 10
+	// minutes).
+	Retention time.Duration
+
+	minutes map[minuteKey]*minuteAgg
+	alerted map[netip.Addr]time.Time
+	// ReAlertAfter re-raises for a victim still under attack after this
+	// long (default 30 minutes).
+	ReAlertAfter time.Duration
+	latest       time.Time
+}
+
+// NewMonitor returns an empty streaming detector.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{
+		cfg:          cfg.withDefaults(),
+		Retention:    10 * time.Minute,
+		ReAlertAfter: 30 * time.Minute,
+		minutes:      make(map[minuteKey]*minuteAgg),
+		alerted:      make(map[netip.Addr]time.Time),
+	}
+}
+
+// Add consumes one record and returns an alert if its victim just
+// crossed the thresholds (nil otherwise).
+func (m *Monitor) Add(r *flow.Record) *Alert {
+	if !IsAmplifiedNTP(r, m.cfg) {
+		return nil
+	}
+	minute := r.Start.UTC().Truncate(time.Minute)
+	if minute.After(m.latest) {
+		m.latest = minute
+		m.evict()
+	}
+	key := minuteKey{dst: r.Dst, minute: minute.Unix()}
+	agg, ok := m.minutes[key]
+	if !ok {
+		agg = &minuteAgg{sources: make(map[netip.Addr]struct{})}
+		m.minutes[key] = agg
+	}
+	agg.bytes += r.ScaledBytes()
+	agg.sources[r.Src] = struct{}{}
+
+	rate := float64(agg.bytes) * 8 / 60
+	if rate <= m.cfg.MinRateBps || len(agg.sources) <= m.cfg.MinSources {
+		return nil
+	}
+	if last, ok := m.alerted[r.Dst]; ok && minute.Sub(last) < m.ReAlertAfter {
+		return nil
+	}
+	m.alerted[r.Dst] = minute
+	return &Alert{
+		Victim:  r.Dst,
+		Minute:  minute,
+		Gbps:    rate / 1e9,
+		Sources: len(agg.sources),
+	}
+}
+
+// evict drops minute state beyond the retention horizon and stale alert
+// markers.
+func (m *Monitor) evict() {
+	horizon := m.latest.Add(-m.Retention).Unix()
+	for key := range m.minutes {
+		if key.minute < horizon {
+			delete(m.minutes, key)
+		}
+	}
+	alertHorizon := m.latest.Add(-2 * m.ReAlertAfter)
+	for victim, last := range m.alerted {
+		if last.Before(alertHorizon) {
+			delete(m.alerted, victim)
+		}
+	}
+}
+
+// ActiveMinutes reports the tracked minute-bin count (for memory
+// monitoring).
+func (m *Monitor) ActiveMinutes() int { return len(m.minutes) }

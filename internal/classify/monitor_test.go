@@ -1,0 +1,116 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// feedAttack pushes an attack of `sources` amplifiers totalling `gbps`
+// into the monitor within one minute and returns any alerts raised.
+func feedAttack(m *Monitor, dst string, sources int, gbps float64, at time.Time) []*Alert {
+	bytesPerSource := uint64(gbps * 1e9 / 8 * 60 / float64(sources))
+	var alerts []*Alert
+	for i := 0; i < sources; i++ {
+		src := fmt.Sprintf("21.%d.%d.%d", i>>16&0xff, i>>8&0xff, i&0xff)
+		r := ntpRec(src, dst, 486, bytesPerSource/486, at)
+		if a := m.Add(&r); a != nil {
+			alerts = append(alerts, a)
+		}
+	}
+	return alerts
+}
+
+func TestMonitorAlertsOnce(t *testing.T) {
+	m := NewMonitor(Config{})
+	alerts := feedAttack(m, "203.0.113.30", 100, 3, t0)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want exactly 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Victim.String() != "203.0.113.30" {
+		t.Errorf("victim = %v", a.Victim)
+	}
+	if a.Sources <= 10 {
+		t.Errorf("sources = %d", a.Sources)
+	}
+	if a.Gbps < 0.2 {
+		t.Errorf("rate = %.2f Gbps", a.Gbps)
+	}
+	if !strings.Contains(a.String(), "ALERT") {
+		t.Errorf("alert string = %q", a.String())
+	}
+	// Continued traffic in the next minutes stays silent (re-alert
+	// suppression).
+	if more := feedAttack(m, "203.0.113.30", 100, 3, t0.Add(time.Minute)); len(more) != 0 {
+		t.Errorf("re-alerted %d times within suppression window", len(more))
+	}
+}
+
+func TestMonitorReAlertsAfterWindow(t *testing.T) {
+	m := NewMonitor(Config{})
+	m.ReAlertAfter = 5 * time.Minute
+	if len(feedAttack(m, "203.0.113.30", 100, 3, t0)) != 1 {
+		t.Fatal("first alert missing")
+	}
+	if len(feedAttack(m, "203.0.113.30", 100, 3, t0.Add(6*time.Minute))) != 1 {
+		t.Error("no re-alert after the suppression window")
+	}
+}
+
+func TestMonitorIgnoresBelowThreshold(t *testing.T) {
+	m := NewMonitor(Config{})
+	// High rate, too few sources.
+	if alerts := feedAttack(m, "203.0.113.31", 5, 3, t0); len(alerts) != 0 {
+		t.Errorf("alerted on %d-source traffic", 5)
+	}
+	// Many sources, low rate.
+	if alerts := feedAttack(m, "203.0.113.32", 100, 0.1, t0); len(alerts) != 0 {
+		t.Error("alerted on low-rate traffic")
+	}
+	// Benign NTP.
+	r := ntpRec("21.0.0.1", "203.0.113.33", 76, 1e9, t0)
+	if a := m.Add(&r); a != nil {
+		t.Error("alerted on small-packet NTP")
+	}
+}
+
+func TestMonitorEviction(t *testing.T) {
+	m := NewMonitor(Config{})
+	m.Retention = 2 * time.Minute
+	feedAttack(m, "203.0.113.34", 50, 2, t0)
+	if m.ActiveMinutes() == 0 {
+		t.Fatal("no state tracked")
+	}
+	// Advancing time far beyond retention evicts the old minutes.
+	feedAttack(m, "203.0.113.35", 50, 2, t0.Add(30*time.Minute))
+	if m.ActiveMinutes() != 1 {
+		t.Errorf("active minutes = %d, want only the fresh one", m.ActiveMinutes())
+	}
+}
+
+func TestMonitorSampledRecords(t *testing.T) {
+	m := NewMonitor(Config{})
+	// IXP-style sampled records must be scaled before thresholding.
+	alerts := 0
+	for i := 0; i < 20; i++ {
+		r := ntpRec(fmt.Sprintf("22.0.0.%d", i+1), "203.0.113.36", 486, 5000, t0)
+		r.SamplingRate = 10000
+		if a := m.Add(&r); a != nil {
+			alerts++
+		}
+	}
+	if alerts != 1 {
+		t.Errorf("alerts = %d, want 1 from scaled counters", alerts)
+	}
+}
+
+func BenchmarkMonitorAdd(b *testing.B) {
+	m := NewMonitor(Config{})
+	r := ntpRec("21.0.0.1", "203.0.113.30", 486, 1000, t0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Add(&r)
+	}
+}

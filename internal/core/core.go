@@ -1,0 +1,59 @@
+// Package core is booterscope's top-level orchestration API: it wires
+// the substrates (IXP fabric, booter engine, traffic scenario, domain
+// observatory) into the four studies the paper reports, one constructor
+// per study:
+//
+//   - NewSelfAttackStudy — Section 3: booter self-attacks against the
+//     measurement AS (Table 1, Figure 1a-c);
+//   - NewLandscapeStudy — Section 4: NTP amplification in the wild at
+//     three vantage points (Figure 2a-c);
+//   - NewTakedownStudy — Section 5.2: traffic effects of the FBI
+//     seizure (Figures 4 and 5);
+//   - NewDomainStudy — Section 5.1: booter domains before and after the
+//     takedown (Figure 3).
+//
+// Every study takes an explicit seed and scale so results are
+// deterministic and cheap configurations can run in tests.
+package core
+
+import (
+	"time"
+)
+
+// Defaults shared by the studies.
+var (
+	// StudyStart is the first day of the traffic measurement window
+	// (Sep 30 2018, the start of the paper's 122-day series).
+	StudyStart = time.Date(2018, 9, 30, 0, 0, 0, 0, time.UTC)
+	// TakedownDate is the FBI seizure date.
+	TakedownDate = time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC)
+	// DomainStudyStart and DomainStudyEnd bound the DNS/HTTPS
+	// observatory crawls (January 2018 – May 2019).
+	DomainStudyStart = time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	DomainStudyEnd   = time.Date(2019, 5, 31, 0, 0, 0, 0, time.UTC)
+	// SelfAttackStart anchors the self-attack measurement campaign
+	// (April–September 2018).
+	SelfAttackStart = time.Date(2018, 4, 10, 12, 0, 0, 0, time.UTC)
+)
+
+// Options configure a study.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical results.
+	Seed uint64
+	// Scale multiplies synthetic traffic volumes. 1.0 is the calibrated
+	// default; tests use smaller values. Applies to the landscape and
+	// takedown studies.
+	Scale float64
+	// Days is the traffic window length (default 122, the paper's).
+	Days int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Days == 0 {
+		o.Days = 122
+	}
+	return o
+}

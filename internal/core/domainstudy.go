@@ -1,0 +1,76 @@
+package core
+
+import (
+	"time"
+
+	"booterscope/internal/domainobs"
+)
+
+// DomainStudy reproduces Section 5.1: the control-plane view of booter
+// domains around the takedown.
+type DomainStudy struct {
+	opts Options
+	Obs  *domainobs.Observatory
+}
+
+// NewDomainStudy builds the synthetic domain universe.
+func NewDomainStudy(opts Options) *DomainStudy {
+	opts = opts.withDefaults()
+	return &DomainStudy{
+		opts: opts,
+		Obs: domainobs.NewObservatory(domainobs.Config{
+			Start:    DomainStudyStart,
+			End:      DomainStudyEnd,
+			Takedown: TakedownDate,
+			Seed:     opts.Seed,
+		}),
+	}
+}
+
+// Figure3 returns the monthly Alexa rank rows.
+func (d *DomainStudy) Figure3() []domainobs.MonthlyRank {
+	return d.Obs.Figure3()
+}
+
+// IdentifiedBooters runs the keyword identification on the final zone
+// snapshot (the study verified 58 booter domains).
+func (d *DomainStudy) IdentifiedBooters() []string {
+	return d.Obs.IdentifyBooters(d.Obs.ZoneSnapshot(DomainStudyEnd))
+}
+
+// SuccessorDomains lists booter domains that became active within a
+// week of the takedown — booter A's re-emergence.
+func (d *DomainStudy) SuccessorDomains() []domainobs.Domain {
+	return d.Obs.NewDomainsAfter(TakedownDate, TakedownDate.AddDate(0, 0, 7))
+}
+
+// BannerCluster returns the domains resolving to the FBI seizure banner
+// at time t — the control-plane fingerprint of the mass seizure.
+func (d *DomainStudy) BannerCluster(t time.Time) []string {
+	return d.Obs.BannerCluster(t)
+}
+
+// VerifiedByContent runs the keyword search plus HTTPS content
+// verification at time t (the automated counterpart of the study's
+// manual verification).
+func (d *DomainStudy) VerifiedByContent(t time.Time) []string {
+	return d.Obs.VerifyByContent(d.Obs.KeywordHits(d.Obs.ZoneSnapshot(t)), t)
+}
+
+// PopulationGrowth reports the booter domain count at the first month,
+// the takedown month, and the last month.
+func (d *DomainStudy) PopulationGrowth() (first, atTakedown, last int) {
+	counts := d.Obs.BooterCountByMonth()
+	if len(counts) == 0 {
+		return 0, 0, 0
+	}
+	first = counts[0].Count
+	last = counts[len(counts)-1].Count
+	tdMonth := time.Date(TakedownDate.Year(), TakedownDate.Month(), 1, 0, 0, 0, 0, time.UTC)
+	for _, c := range counts {
+		if c.Month.Equal(tdMonth) {
+			atTakedown = c.Count
+		}
+	}
+	return first, atTakedown, last
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"booterscope/internal/classify"
+	"booterscope/internal/stats"
+	"booterscope/internal/trafficgen"
+)
+
+// LandscapeStudy reproduces Section 4: NTP amplification traffic in the
+// wild across the three vantage points.
+type LandscapeStudy struct {
+	opts     Options
+	Scenario *trafficgen.Scenario
+	// WindowDays bounds how many scenario days the landscape analysis
+	// scans (the full 122 at scale 1 is the paper's setting).
+	WindowDays int
+}
+
+// NewLandscapeStudy builds the traffic scenario.
+func NewLandscapeStudy(opts Options) *LandscapeStudy {
+	opts = opts.withDefaults()
+	return &LandscapeStudy{
+		opts: opts,
+		Scenario: trafficgen.NewScenario(trafficgen.Config{
+			Start:    StudyStart,
+			Days:     opts.Days,
+			Takedown: TakedownDate,
+			Seed:     opts.Seed,
+			Scale:    opts.Scale,
+		}),
+		WindowDays: opts.Days,
+	}
+}
+
+// PacketSizeDistribution is the Figure 2(a) data: the NTP packet size
+// histogram at the IXP with its below-200-byte share.
+type PacketSizeDistribution struct {
+	Histogram *stats.Histogram
+	// FractionBelow200 is the benign share (the paper measured 54 %).
+	FractionBelow200 float64
+}
+
+// Figure2a builds the NTP packet size distribution from the IXP view.
+func (l *LandscapeStudy) Figure2a() *PacketSizeDistribution {
+	h := stats.NewHistogram(0, 1500, 75) // 20-byte bins
+	for day := 0; day < l.WindowDays; day++ {
+		for _, rec := range l.Scenario.Day(trafficgen.KindIXP, day) {
+			if rec.SrcPort != classify.NTPPort && rec.DstPort != classify.NTPPort {
+				continue
+			}
+			size := rec.AvgPacketSize()
+			for i := uint64(0); i < rec.ScaledPackets(); i += 10000 {
+				// Add in sampled strides to bound cost; the histogram
+				// is a distribution, absolute counts do not matter.
+				h.Add(size)
+			}
+		}
+	}
+	return &PacketSizeDistribution{
+		Histogram:        h,
+		FractionBelow200: h.FractionBelow(classify.OptimisticSizeThreshold),
+	}
+}
+
+// VantageVictims is the Figure 2(b)/(c) data for one vantage point.
+type VantageVictims struct {
+	Vantage trafficgen.Kind
+	// Victims is the optimistic per-destination view.
+	Victims []classify.Victim
+	// Filter quantifies the conservative rules.
+	Filter classify.FilterStats
+	// SourcesCDF and RateCDF are the Figure 2(c) curves.
+	SourcesCDF *stats.ECDF
+	RateCDF    *stats.ECDF
+}
+
+// MaxGbps returns the largest observed per-victim rate.
+func (v *VantageVictims) MaxGbps() float64 {
+	var max float64
+	for _, vic := range v.Victims {
+		if vic.MaxGbps > max {
+			max = vic.MaxGbps
+		}
+	}
+	return max
+}
+
+// Figure2bc classifies NTP amplification victims at one vantage point.
+func (l *LandscapeStudy) Figure2bc(k trafficgen.Kind) *VantageVictims {
+	c := classify.New(classify.Config{})
+	for day := 0; day < l.WindowDays; day++ {
+		for _, rec := range l.Scenario.Day(k, day) {
+			rec := rec
+			c.Add(&rec)
+		}
+	}
+	victims := c.Victims()
+	sources := make([]float64, len(victims))
+	rates := make([]float64, len(victims))
+	for i, v := range victims {
+		sources[i] = float64(v.MaxSources)
+		rates[i] = v.MaxGbps
+	}
+	return &VantageVictims{
+		Vantage:    k,
+		Victims:    victims,
+		Filter:     c.FilterStats(),
+		SourcesCDF: stats.NewECDF(sources),
+		RateCDF:    stats.NewECDF(rates),
+	}
+}
+
+// AllVantages runs Figure2bc for the three vantage points.
+func (l *LandscapeStudy) AllVantages() []*VantageVictims {
+	kinds := []trafficgen.Kind{trafficgen.KindIXP, trafficgen.KindTier1, trafficgen.KindTier2}
+	out := make([]*VantageVictims, len(kinds))
+	for i, k := range kinds {
+		out[i] = l.Figure2bc(k)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/ixp"
+	"booterscope/internal/netutil"
+	"booterscope/internal/observatory"
+	"booterscope/internal/reflector"
+)
+
+// SelfAttackStudy reproduces Section 3: attacks purchased from the four
+// booters against the study's own measurement AS.
+type SelfAttackStudy struct {
+	opts    Options
+	Fabric  *ixp.Fabric
+	Obs     *observatory.Observatory
+	Engine  *booter.Engine
+	Catalog []*booter.Service
+}
+
+// Measurement AS parameters (matching the study's setup).
+const (
+	measurementASN      = 64512
+	measurementPrefix   = "203.0.113.0/24"
+	measurementPortGbps = 10
+	ixpMemberCount      = 400
+)
+
+// NewSelfAttackStudy assembles the fabric, observatory, reflector pools,
+// and booter engine.
+func NewSelfAttackStudy(opts Options) (*SelfAttackStudy, error) {
+	opts = opts.withDefaults()
+	fabric := ixp.New(ixp.Config{
+		RouteServerASN:       65500,
+		TransitASN:           174,
+		PlatformSamplingRate: 10000,
+		Seed:                 opts.Seed,
+	})
+	// Members occupy the low-index reflector ASes — the big hosting
+	// networks that run most amplifiers (the skewed pool puts ~63 % of
+	// reflector traffic there). With 70 % of members preferring their
+	// own upstream, the measurement AS receives ~81 % of attack traffic
+	// via transit and ~19 % via peering, the paper's split.
+	r := netutil.NewRand(opts.Seed).Fork("membership")
+	for i := 0; i < ixpMemberCount; i++ {
+		asn := uint32(1000 + i)
+		fabric.AddMember(asn, 100*netutil.Gbps, r.Float64() < 0.7)
+	}
+	obs, err := observatory.New(fabric, measurementASN, netip.MustParsePrefix(measurementPrefix), measurementPortGbps*netutil.Gbps, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: connecting observatory: %w", err)
+	}
+	pools := map[amplify.Vector]*reflector.Pool{
+		amplify.NTP:       reflector.NewPool(amplify.NTP, 200_000, 1600, opts.Seed),
+		amplify.DNS:       reflector.NewPool(amplify.DNS, 120_000, 1600, opts.Seed),
+		amplify.CLDAP:     reflector.NewPool(amplify.CLDAP, 60_000, 1600, opts.Seed),
+		amplify.Memcached: reflector.NewPool(amplify.Memcached, 15_000, 400, opts.Seed),
+	}
+	return &SelfAttackStudy{
+		opts:    opts,
+		Fabric:  fabric,
+		Obs:     obs,
+		Engine:  booter.NewEngine(pools, opts.Seed),
+		Catalog: booter.Catalog(),
+	}, nil
+}
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	Booter      string
+	Seized      bool
+	Vectors     []amplify.Vector
+	PriceNonVIP float64
+	PriceVIP    float64
+}
+
+// Table1 returns the booter catalog as the paper tabulates it.
+func (s *SelfAttackStudy) Table1() []Table1Row {
+	rows := make([]Table1Row, 0, len(s.Catalog))
+	for _, svc := range s.Catalog {
+		rows = append(rows, Table1Row{
+			Booter:      svc.Name,
+			Seized:      svc.SeizedByFBI,
+			Vectors:     svc.Vectors(),
+			PriceNonVIP: svc.PriceNonVIP,
+			PriceVIP:    svc.PriceVIP,
+		})
+	}
+	return rows
+}
+
+// nonVIPPlan is the paper's Figure 1(a) attack series: ten attacks
+// including three with the transit link disabled.
+var nonVIPPlan = []struct {
+	booter    string
+	vector    amplify.Vector
+	noTransit bool
+}{
+	{"A", amplify.NTP, false},
+	{"A", amplify.NTP, true},
+	{"B", amplify.CLDAP, false},
+	{"B", amplify.Memcached, false},
+	{"B", amplify.NTP, false},
+	{"B", amplify.NTP, false},
+	{"B", amplify.NTP, true},
+	{"C", amplify.NTP, false},
+	{"C", amplify.NTP, true},
+	{"D", amplify.NTP, false},
+}
+
+// AttackResult pairs a report with its experiment label.
+type AttackResult struct {
+	Label     string
+	NoTransit bool
+	Report    *observatory.Report
+}
+
+// RunNonVIPAttacks executes the Figure 1(a) series. Each attack targets
+// a fresh IP from the /24 and lasts duration (the study minimized
+// durations; 60–120 s reproduces the per-second scatter).
+func (s *SelfAttackStudy) RunNonVIPAttacks(duration time.Duration) ([]AttackResult, error) {
+	start := SelfAttackStart
+	var out []AttackResult
+	for i, plan := range nonVIPPlan {
+		svc, err := booter.ServiceByName(plan.booter)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Fabric.SetTransit(!plan.noTransit); err != nil {
+			return nil, err
+		}
+		atk, err := s.Engine.Launch(booter.Order{
+			Service:  svc,
+			Vector:   plan.vector,
+			Tier:     booter.NonVIP,
+			Target:   s.Obs.NextTargetIP(),
+			Duration: duration,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: launching %s %v: %w", plan.booter, plan.vector, err)
+		}
+		rep, err := s.Obs.RunAttack(atk, start.Add(time.Duration(i)*time.Hour), observatory.CaptureOptions{})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("booter %s %v", plan.booter, plan.vector)
+		if plan.noTransit {
+			label += " (no transit)"
+		}
+		out = append(out, AttackResult{Label: label, NoTransit: plan.noTransit, Report: rep})
+	}
+	// Restore transit for subsequent experiments.
+	if err := s.Fabric.SetTransit(true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunVIPAttacks executes the Figure 1(b) premium attacks: booter B NTP
+// and memcached, five minutes each.
+func (s *SelfAttackStudy) RunVIPAttacks() ([]AttackResult, error) {
+	svc, err := booter.ServiceByName("B")
+	if err != nil {
+		return nil, err
+	}
+	var out []AttackResult
+	for i, vector := range []amplify.Vector{amplify.NTP, amplify.Memcached} {
+		atk, err := s.Engine.Launch(booter.Order{
+			Service:  svc,
+			Vector:   vector,
+			Tier:     booter.VIP,
+			Target:   s.Obs.NextTargetIP(),
+			Duration: 5 * time.Minute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.Obs.RunAttack(atk, SelfAttackStart.AddDate(0, 2, i), observatory.CaptureOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AttackResult{
+			Label:  fmt.Sprintf("%v VIP DDoS", vector),
+			Report: rep,
+		})
+	}
+	return out, nil
+}
+
+// OverlapResult is the Figure 1(c) data: the labels of 16 self-attacks
+// (chronological) and their pairwise reflector-set Jaccard overlap.
+type OverlapResult struct {
+	Labels []string
+	Matrix [][]float64
+	// TotalUniqueReflectors is the union size across all attacks (the
+	// paper counted 868).
+	TotalUniqueReflectors int
+}
+
+// RunReflectorOverlap reproduces Figure 1(c): 16 NTP attacks spread
+// over the campaign with same-day pairs, multi-week gaps, one overnight
+// set swap, and cross-booter comparisons.
+func (s *SelfAttackStudy) RunReflectorOverlap() (*OverlapResult, error) {
+	type step struct {
+		booter  string
+		gapDays float64 // days advanced before this attack
+		swap    bool    // booter swapped its set overnight
+	}
+	steps := []step{
+		{"B", 0, false}, {"B", 0, false}, // same day: identical sets
+		{"B", 3, false}, {"B", 4, false},
+		{"B", 7, false},                 // two weeks from start: ~30 % churn
+		{"B", 1, true}, {"B", 0, false}, // sudden new set (18-06-12 -> 13)
+		{"A", 0, false}, {"A", 2, false},
+		{"C", 1, false}, {"C", 5, false},
+		{"D", 2, false},
+		{"B", 6, false}, {"B", 0, false},
+		{"A", 4, false}, {"A", 0, false},
+	}
+	var sets [][]reflector.Reflector
+	var labels []string
+	day := 0.0
+	for _, st := range steps {
+		if st.gapDays > 0 {
+			s.Engine.AdvanceDays(st.gapDays)
+			day += st.gapDays
+		}
+		svc, err := booter.ServiceByName(st.booter)
+		if err != nil {
+			return nil, err
+		}
+		if st.swap {
+			if err := s.Engine.SwapSet(svc, amplify.NTP); err != nil {
+				return nil, err
+			}
+		}
+		ws, err := s.Engine.WorkingSet(svc, amplify.NTP)
+		if err != nil {
+			return nil, err
+		}
+		set := ws.Select(ws.Size())
+		sets = append(sets, set)
+		labels = append(labels, fmt.Sprintf("booter %s day %.0f", st.booter, day))
+	}
+	return &OverlapResult{
+		Labels:                labels,
+		Matrix:                reflector.OverlapMatrix(sets),
+		TotalUniqueReflectors: reflector.UniqueAddrs(sets),
+	}, nil
+}

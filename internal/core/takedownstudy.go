@@ -1,0 +1,54 @@
+package core
+
+import (
+	"booterscope/internal/takedown"
+	"booterscope/internal/trafficgen"
+)
+
+// TakedownStudy reproduces Section 5.2: the traffic effects of the FBI
+// seizure.
+type TakedownStudy struct {
+	opts     Options
+	Scenario *trafficgen.Scenario
+	Event    takedown.Event
+}
+
+// NewTakedownStudy builds the 122-day scenario spanning the seizure.
+func NewTakedownStudy(opts Options) *TakedownStudy {
+	opts = opts.withDefaults()
+	return &TakedownStudy{
+		opts: opts,
+		Scenario: trafficgen.NewScenario(trafficgen.Config{
+			Start:    StudyStart,
+			Days:     opts.Days,
+			Takedown: TakedownDate,
+			Seed:     opts.Seed,
+			Scale:    opts.Scale,
+		}),
+		Event: takedown.FBITakedown,
+	}
+}
+
+// Figure4 computes the to-reflector panels for one vantage point.
+func (t *TakedownStudy) Figure4(k trafficgen.Kind) ([]takedown.Figure4Panel, error) {
+	return takedown.Figure4(t.Scenario, k)
+}
+
+// Figure4All computes the panels for all three vantage points.
+func (t *TakedownStudy) Figure4All() (map[trafficgen.Kind][]takedown.Figure4Panel, error) {
+	out := make(map[trafficgen.Kind][]takedown.Figure4Panel, 3)
+	for _, k := range []trafficgen.Kind{trafficgen.KindIXP, trafficgen.KindTier1, trafficgen.KindTier2} {
+		panels, err := takedown.Figure4(t.Scenario, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = panels
+	}
+	return out, nil
+}
+
+// Figure5 computes the systems-under-attack analysis for one vantage
+// point.
+func (t *TakedownStudy) Figure5(k trafficgen.Kind) (*takedown.Figure5Result, error) {
+	return takedown.Figure5(t.Scenario, k)
+}

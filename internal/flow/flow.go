@@ -1,0 +1,267 @@
+// Package flow defines the flow record model shared by every vantage
+// point in booterscope: a NetFlow/IPFIX-style 5-tuple record with packet
+// and byte counters, plus aggregation primitives (flow tables keyed on the
+// 5-tuple, per-minute and per-day time bins) that the study's analyses
+// are built on.
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/packet"
+)
+
+// Direction distinguishes ingress from egress traffic at a vantage point.
+type Direction uint8
+
+// Traffic directions.
+const (
+	Ingress Direction = iota
+	Egress
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	if d == Egress {
+		return "egress"
+	}
+	return "ingress"
+}
+
+// Key is the flow 5-tuple.
+type Key struct {
+	Src      netip.Addr
+	Dst      netip.Addr
+	SrcPort  uint16
+	DstPort  uint16
+	Protocol uint8
+}
+
+// Reverse returns the key with endpoints swapped.
+func (k Key) Reverse() Key {
+	return Key{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Protocol: k.Protocol}
+}
+
+// String formats the key as "proto src:port -> dst:port".
+func (k Key) String() string {
+	return fmt.Sprintf("%d %s:%d -> %s:%d", k.Protocol, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Record is one unidirectional flow record as exported by a router or IXP
+// platform.
+type Record struct {
+	Key
+	// Packets and Bytes are the measured (possibly sampled) counters.
+	Packets uint64
+	Bytes   uint64
+	// Start and End delimit the flow's activity.
+	Start time.Time
+	End   time.Time
+	// SrcAS and DstAS are the peer AS numbers as seen in BGP.
+	SrcAS uint32
+	DstAS uint32
+	// Direction is the flow's direction relative to the vantage point.
+	Direction Direction
+	// SamplingRate is the 1-in-N rate the record was sampled at
+	// (1 = unsampled). Scale-up multiplies counters by this factor.
+	SamplingRate uint32
+}
+
+// ScaledPackets returns the packet count corrected for sampling.
+func (r *Record) ScaledPackets() uint64 {
+	if r.SamplingRate > 1 {
+		return r.Packets * uint64(r.SamplingRate)
+	}
+	return r.Packets
+}
+
+// ScaledBytes returns the byte count corrected for sampling.
+func (r *Record) ScaledBytes() uint64 {
+	if r.SamplingRate > 1 {
+		return r.Bytes * uint64(r.SamplingRate)
+	}
+	return r.Bytes
+}
+
+// AvgPacketSize returns the mean packet size in bytes, or 0 for an empty
+// record. Classification uses this as the per-flow packet size estimate.
+func (r *Record) AvgPacketSize() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / float64(r.Packets)
+}
+
+// Duration returns End-Start.
+func (r *Record) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// FromPacket derives a single-packet flow record from a decoded packet.
+// The byte counter uses the IP total length (on-the-wire size).
+func FromPacket(d *packet.Decoded, ts time.Time) Record {
+	rec := Record{
+		Key: Key{
+			Src:      d.IPv4.Src,
+			Dst:      d.IPv4.Dst,
+			Protocol: d.IPv4.Protocol,
+		},
+		Packets:      1,
+		Bytes:        uint64(d.TotalLen),
+		Start:        ts,
+		End:          ts,
+		SamplingRate: 1,
+	}
+	switch {
+	case d.UDP != nil:
+		rec.SrcPort, rec.DstPort = d.UDP.SrcPort, d.UDP.DstPort
+	case d.TCP != nil:
+		rec.SrcPort, rec.DstPort = d.TCP.SrcPort, d.TCP.DstPort
+	}
+	return rec
+}
+
+// Table aggregates packets into flow records keyed on the 5-tuple, the
+// way a router's flow cache does. The zero value is not usable; construct
+// with NewTable.
+type Table struct {
+	flows map[Key]*Record
+	// ActiveTimeout flushes long-lived flows; IdleTimeout flushes quiet
+	// ones. Both default to the common router settings when zero.
+	ActiveTimeout time.Duration
+	IdleTimeout   time.Duration
+}
+
+// Default router flow-cache timeouts.
+const (
+	DefaultActiveTimeout = 60 * time.Second
+	DefaultIdleTimeout   = 15 * time.Second
+)
+
+// NewTable returns an empty flow table with default timeouts.
+func NewTable() *Table {
+	return &Table{
+		flows:         make(map[Key]*Record),
+		ActiveTimeout: DefaultActiveTimeout,
+		IdleTimeout:   DefaultIdleTimeout,
+	}
+}
+
+// Len reports the number of active flows.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Add merges one observation into the table. Expired flows keyed the same
+// are flushed and returned before the new observation starts a fresh
+// record.
+func (t *Table) Add(rec Record) *Record {
+	var flushed *Record
+	if cur, ok := t.flows[rec.Key]; ok {
+		if rec.End.Sub(cur.Start) > t.ActiveTimeout || rec.Start.Sub(cur.End) > t.IdleTimeout {
+			flushed = cur
+			delete(t.flows, rec.Key)
+		} else {
+			cur.Packets += rec.Packets
+			cur.Bytes += rec.Bytes
+			if rec.End.After(cur.End) {
+				cur.End = rec.End
+			}
+			return nil
+		}
+	}
+	clone := rec
+	t.flows[rec.Key] = &clone
+	return flushed
+}
+
+// Flush empties the table, returning all active records.
+func (t *Table) Flush() []Record {
+	out := make([]Record, 0, len(t.flows))
+	for _, r := range t.flows {
+		out = append(out, *r)
+	}
+	t.flows = make(map[Key]*Record)
+	return out
+}
+
+// MinuteBin aggregates flow records about a single destination within one
+// minute: the core unit of the paper's victim analysis (max Gbps per
+// minute, unique sources per minute).
+type MinuteBin struct {
+	Minute  time.Time
+	Bytes   uint64
+	Packets uint64
+	Sources map[netip.Addr]struct{}
+}
+
+// Rate returns the bin's traffic rate in bits per second.
+func (b *MinuteBin) Rate() float64 { return float64(b.Bytes) * 8 / 60 }
+
+// PerDestMinutes indexes minute bins by destination address.
+type PerDestMinutes struct {
+	bins map[netip.Addr]map[int64]*MinuteBin
+}
+
+// NewPerDestMinutes returns an empty per-destination aggregator.
+func NewPerDestMinutes() *PerDestMinutes {
+	return &PerDestMinutes{bins: make(map[netip.Addr]map[int64]*MinuteBin)}
+}
+
+// Add merges a record into its destination's minute bin. Sampled counters
+// are scaled up.
+func (p *PerDestMinutes) Add(rec *Record) {
+	minute := rec.Start.Truncate(time.Minute)
+	m, ok := p.bins[rec.Dst]
+	if !ok {
+		m = make(map[int64]*MinuteBin)
+		p.bins[rec.Dst] = m
+	}
+	key := minute.Unix()
+	bin, ok := m[key]
+	if !ok {
+		bin = &MinuteBin{Minute: minute, Sources: make(map[netip.Addr]struct{})}
+		m[key] = bin
+	}
+	bin.Bytes += rec.ScaledBytes()
+	bin.Packets += rec.ScaledPackets()
+	bin.Sources[rec.Src] = struct{}{}
+}
+
+// DestSummary condenses one destination's bins into the quantities
+// Figures 2(b) and 2(c) plot.
+type DestSummary struct {
+	Dst netip.Addr
+	// MaxRateBps is the highest one-minute traffic rate in bits/second.
+	MaxRateBps float64
+	// MaxSources is the highest number of unique sources in any minute.
+	MaxSources int
+	// TotalSources is the number of unique sources across all minutes.
+	TotalSources int
+	// Minutes is how many minute bins the destination appears in.
+	Minutes int
+}
+
+// Summaries returns one DestSummary per destination.
+func (p *PerDestMinutes) Summaries() []DestSummary {
+	out := make([]DestSummary, 0, len(p.bins))
+	for dst, m := range p.bins {
+		s := DestSummary{Dst: dst, Minutes: len(m)}
+		all := make(map[netip.Addr]struct{})
+		for _, bin := range m {
+			if r := bin.Rate(); r > s.MaxRateBps {
+				s.MaxRateBps = r
+			}
+			if n := len(bin.Sources); n > s.MaxSources {
+				s.MaxSources = n
+			}
+			for src := range bin.Sources {
+				all[src] = struct{}{}
+			}
+		}
+		s.TotalSources = len(all)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Len reports the number of destinations tracked.
+func (p *PerDestMinutes) Len() int { return len(p.bins) }

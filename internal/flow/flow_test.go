@@ -1,0 +1,253 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"booterscope/internal/packet"
+)
+
+var (
+	t0   = time.Date(2018, 12, 1, 0, 0, 0, 0, time.UTC)
+	addr = netip.MustParseAddr
+)
+
+func rec(src, dst string, sport, dport uint16, pkts, bytes uint64, start time.Time) Record {
+	return Record{
+		Key:          Key{Src: addr(src), Dst: addr(dst), SrcPort: sport, DstPort: dport, Protocol: packet.IPProtoUDP},
+		Packets:      pkts,
+		Bytes:        bytes,
+		Start:        start,
+		End:          start,
+		SamplingRate: 1,
+	}
+}
+
+func TestKeyReverse(t *testing.T) {
+	k := Key{Src: addr("1.1.1.1"), Dst: addr("2.2.2.2"), SrcPort: 123, DstPort: 999, Protocol: 17}
+	r := k.Reverse()
+	if r.Src != k.Dst || r.Dst != k.Src || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Ingress.String() != "ingress" || Egress.String() != "egress" {
+		t.Error("direction names wrong")
+	}
+}
+
+func TestScaledCounters(t *testing.T) {
+	r := rec("1.1.1.1", "2.2.2.2", 123, 999, 10, 4860, t0)
+	r.SamplingRate = 1000
+	if r.ScaledPackets() != 10000 {
+		t.Errorf("ScaledPackets = %d", r.ScaledPackets())
+	}
+	if r.ScaledBytes() != 4_860_000 {
+		t.Errorf("ScaledBytes = %d", r.ScaledBytes())
+	}
+	r.SamplingRate = 0 // treat as unsampled
+	if r.ScaledPackets() != 10 {
+		t.Errorf("unsampled ScaledPackets = %d", r.ScaledPackets())
+	}
+}
+
+func TestAvgPacketSize(t *testing.T) {
+	r := rec("1.1.1.1", "2.2.2.2", 123, 999, 10, 4860, t0)
+	if got := r.AvgPacketSize(); got != 486 {
+		t.Errorf("AvgPacketSize = %v", got)
+	}
+	empty := Record{}
+	if empty.AvgPacketSize() != 0 {
+		t.Error("empty record should have 0 avg size")
+	}
+}
+
+func TestFromPacket(t *testing.T) {
+	pkt := packet.Build(
+		&packet.IPv4{TTL: 64, Protocol: packet.IPProtoUDP, Src: addr("10.0.0.1"), Dst: addr("192.0.2.5")},
+		&packet.UDP{SrcPort: 123, DstPort: 44000},
+		packet.Payload(make([]byte, 458)),
+	)
+	d, err := packet.DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromPacket(d, t0)
+	if r.Bytes != 486 {
+		t.Errorf("Bytes = %d, want IP total length 486", r.Bytes)
+	}
+	if r.SrcPort != 123 || r.DstPort != 44000 {
+		t.Errorf("ports = %d/%d", r.SrcPort, r.DstPort)
+	}
+	if r.Packets != 1 || r.SamplingRate != 1 {
+		t.Errorf("packets=%d rate=%d", r.Packets, r.SamplingRate)
+	}
+}
+
+func TestFromPacketTCP(t *testing.T) {
+	pkt := packet.Build(
+		&packet.IPv4{TTL: 64, Protocol: packet.IPProtoTCP, Src: addr("10.0.0.1"), Dst: addr("192.0.2.5")},
+		&packet.TCP{SrcPort: 80, DstPort: 50000},
+	)
+	d, err := packet.DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromPacket(d, t0)
+	if r.SrcPort != 80 || r.DstPort != 50000 || r.Protocol != packet.IPProtoTCP {
+		t.Errorf("record = %+v", r.Key)
+	}
+}
+
+func TestTableAggregation(t *testing.T) {
+	tbl := NewTable()
+	r1 := rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 486, t0)
+	r2 := rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 490, t0.Add(time.Second))
+	if f := tbl.Add(r1); f != nil {
+		t.Error("first add flushed something")
+	}
+	if f := tbl.Add(r2); f != nil {
+		t.Error("merge flushed something")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table has %d flows", tbl.Len())
+	}
+	out := tbl.Flush()
+	if len(out) != 1 {
+		t.Fatalf("flush returned %d", len(out))
+	}
+	if out[0].Packets != 2 || out[0].Bytes != 976 {
+		t.Errorf("merged = %d pkts %d bytes", out[0].Packets, out[0].Bytes)
+	}
+	if !out[0].End.Equal(t0.Add(time.Second)) {
+		t.Errorf("End = %v", out[0].End)
+	}
+	if tbl.Len() != 0 {
+		t.Error("flush did not empty table")
+	}
+}
+
+func TestTableDistinctKeys(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 486, t0))
+	tbl.Add(rec("1.1.1.2", "2.2.2.2", 123, 999, 1, 486, t0))
+	tbl.Add(rec("1.1.1.1", "2.2.2.2", 124, 999, 1, 486, t0))
+	if tbl.Len() != 3 {
+		t.Errorf("table has %d flows, want 3", tbl.Len())
+	}
+}
+
+func TestTableIdleTimeout(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 486, t0))
+	flushed := tbl.Add(rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 490, t0.Add(20*time.Second)))
+	if flushed == nil {
+		t.Fatal("idle-expired flow was not flushed")
+	}
+	if flushed.Packets != 1 || flushed.Bytes != 486 {
+		t.Errorf("flushed = %+v", flushed)
+	}
+	out := tbl.Flush()
+	if len(out) != 1 || out[0].Bytes != 490 {
+		t.Errorf("new flow after flush = %+v", out)
+	}
+}
+
+func TestTableActiveTimeout(t *testing.T) {
+	tbl := NewTable()
+	base := rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 486, t0)
+	tbl.Add(base)
+	// Keep the flow alive with sub-idle gaps until the active timeout trips.
+	var flushed *Record
+	for i := 1; i <= 8; i++ {
+		r := rec("1.1.1.1", "2.2.2.2", 123, 999, 1, 486, t0.Add(time.Duration(i)*10*time.Second))
+		if f := tbl.Add(r); f != nil {
+			flushed = f
+			break
+		}
+	}
+	if flushed == nil {
+		t.Fatal("active timeout never triggered")
+	}
+	if flushed.Packets < 2 {
+		t.Errorf("flushed flow has %d packets", flushed.Packets)
+	}
+}
+
+func TestPerDestMinutes(t *testing.T) {
+	p := NewPerDestMinutes()
+	// 3 sources hitting one victim in the same minute, 1 in the next.
+	for i, src := range []string{"10.0.0.1", "10.0.0.2", "10.0.0.3"} {
+		r := rec(src, "192.0.2.9", 123, 40000, 100, 48600, t0.Add(time.Duration(i)*time.Second))
+		p.Add(&r)
+	}
+	r := rec("10.0.0.1", "192.0.2.9", 123, 40000, 50, 24300, t0.Add(70*time.Second))
+	p.Add(&r)
+	other := rec("10.0.0.9", "203.0.113.4", 123, 40000, 1, 486, t0)
+	p.Add(&other)
+
+	if p.Len() != 2 {
+		t.Fatalf("destinations = %d", p.Len())
+	}
+	sums := p.Summaries()
+	var victim *DestSummary
+	for i := range sums {
+		if sums[i].Dst == addr("192.0.2.9") {
+			victim = &sums[i]
+		}
+	}
+	if victim == nil {
+		t.Fatal("victim summary missing")
+	}
+	if victim.MaxSources != 3 {
+		t.Errorf("MaxSources = %d", victim.MaxSources)
+	}
+	if victim.TotalSources != 3 {
+		t.Errorf("TotalSources = %d", victim.TotalSources)
+	}
+	if victim.Minutes != 2 {
+		t.Errorf("Minutes = %d", victim.Minutes)
+	}
+	wantRate := float64(3*48600) * 8 / 60
+	if victim.MaxRateBps != wantRate {
+		t.Errorf("MaxRateBps = %v, want %v", victim.MaxRateBps, wantRate)
+	}
+}
+
+func TestPerDestMinutesSampling(t *testing.T) {
+	p := NewPerDestMinutes()
+	r := rec("10.0.0.1", "192.0.2.9", 123, 40000, 1, 486, t0)
+	r.SamplingRate = 10000
+	p.Add(&r)
+	s := p.Summaries()[0]
+	wantRate := float64(486*10000) * 8 / 60
+	if s.MaxRateBps != wantRate {
+		t.Errorf("MaxRateBps = %v, want %v (scaled)", s.MaxRateBps, wantRate)
+	}
+}
+
+func BenchmarkTableAdd(b *testing.B) {
+	tbl := NewTable()
+	recs := make([]Record, 1024)
+	for i := range recs {
+		recs[i] = rec("10.0.0.1", "192.0.2.9", uint16(i), 40000, 1, 486, t0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Add(recs[i%len(recs)])
+	}
+}
+
+func BenchmarkPerDestAdd(b *testing.B) {
+	p := NewPerDestMinutes()
+	r := rec("10.0.0.1", "192.0.2.9", 123, 40000, 100, 48600, t0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(&r)
+	}
+}

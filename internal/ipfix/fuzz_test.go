@@ -1,0 +1,25 @@
+package ipfix
+
+import (
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	e := &Encoder{DomainID: 5}
+	msg, _ := e.Encode(sampleRecords(3), exportTime)
+	f.Add(msg)
+	f.Add([]byte{0, 10, 0, 16})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder()
+		recs, err := d.Decode(data)
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.SamplingRate == 0 {
+				t.Fatal("decoded record with zero sampling rate")
+			}
+		}
+	})
+}

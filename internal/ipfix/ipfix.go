@@ -1,0 +1,370 @@
+// Package ipfix implements the IP Flow Information Export protocol
+// (IPFIX, RFC 7011): message encoding with template and data sets, plus a
+// UDP exporter/collector pair.
+//
+// The major IXP vantage point in the study provides sampled IPFIX traces;
+// booterscope's IXP platform exports its sampled flow view through this
+// codec.
+package ipfix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"booterscope/internal/flow"
+	"booterscope/internal/netutil"
+)
+
+// Protocol constants.
+const (
+	VersionIPFIX   = 10
+	headerLen      = 16
+	setHeaderLen   = 4
+	templateSetID  = 2
+	minDataSetID   = 256
+	flowTemplateID = 400
+)
+
+// Codec errors.
+var (
+	ErrBadVersion = errors.New("ipfix: not an IPFIX message")
+	ErrTruncated  = errors.New("ipfix: truncated message")
+	ErrNoTemplate = errors.New("ipfix: data set references unknown template")
+	ErrBadSet     = errors.New("ipfix: malformed set")
+)
+
+// IPFIX information element IDs (IANA assigned) used by the flow
+// template.
+const (
+	ieOctetDeltaCount       uint16 = 1
+	iePacketDeltaCount      uint16 = 2
+	ieProtocolIdentifier    uint16 = 4
+	ieSourceTransportPort   uint16 = 7
+	ieSourceIPv4Address     uint16 = 8
+	ieDestTransportPort     uint16 = 11
+	ieDestIPv4Address       uint16 = 12
+	ieBgpSourceAsNumber     uint16 = 16
+	ieBgpDestAsNumber       uint16 = 17
+	ieFlowEndMilliseconds   uint16 = 153
+	ieFlowStartMilliseconds uint16 = 152
+	ieSamplingInterval      uint16 = 34
+)
+
+type fieldSpec struct {
+	ID     uint16
+	Length uint16
+}
+
+// flowTemplate is the information element layout booterscope exports.
+var flowTemplate = []fieldSpec{
+	{ieSourceIPv4Address, 4}, {ieDestIPv4Address, 4},
+	{iePacketDeltaCount, 8}, {ieOctetDeltaCount, 8},
+	{ieFlowStartMilliseconds, 8}, {ieFlowEndMilliseconds, 8},
+	{ieSourceTransportPort, 2}, {ieDestTransportPort, 2},
+	{ieProtocolIdentifier, 1},
+	{ieBgpSourceAsNumber, 4}, {ieBgpDestAsNumber, 4},
+	{ieSamplingInterval, 4},
+}
+
+func flowRecordLen() int {
+	n := 0
+	for _, f := range flowTemplate {
+		n += int(f.Length)
+	}
+	return n
+}
+
+// Encoder builds IPFIX messages.
+type Encoder struct {
+	// DomainID is the observation domain ID stamped on messages.
+	DomainID uint32
+	// TemplateRefresh re-emits the template set every N messages
+	// (default 20); UDP transports must refresh templates periodically.
+	TemplateRefresh int
+
+	seq      uint64
+	messages int
+}
+
+// Encode serializes records into one IPFIX message with exportTime.
+func (e *Encoder) Encode(records []flow.Record, exportTime time.Time) ([]byte, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("ipfix: no records to encode")
+	}
+	refresh := e.TemplateRefresh
+	if refresh <= 0 {
+		refresh = 20
+	}
+	withTemplate := e.messages%refresh == 0
+	e.messages++
+
+	var body []byte
+	if withTemplate {
+		var tpl []byte
+		tpl = binary.BigEndian.AppendUint16(tpl, flowTemplateID)
+		tpl = binary.BigEndian.AppendUint16(tpl, uint16(len(flowTemplate)))
+		for _, f := range flowTemplate {
+			tpl = binary.BigEndian.AppendUint16(tpl, f.ID)
+			tpl = binary.BigEndian.AppendUint16(tpl, f.Length)
+		}
+		body = binary.BigEndian.AppendUint16(body, templateSetID)
+		body = binary.BigEndian.AppendUint16(body, uint16(setHeaderLen+len(tpl)))
+		body = append(body, tpl...)
+	}
+
+	var data []byte
+	for i := range records {
+		r := &records[i]
+		data = binary.BigEndian.AppendUint32(data, netutil.Addr4Val(r.Src))
+		data = binary.BigEndian.AppendUint32(data, netutil.Addr4Val(r.Dst))
+		data = binary.BigEndian.AppendUint64(data, r.Packets)
+		data = binary.BigEndian.AppendUint64(data, r.Bytes)
+		data = binary.BigEndian.AppendUint64(data, uint64(r.Start.UnixMilli()))
+		data = binary.BigEndian.AppendUint64(data, uint64(r.End.UnixMilli()))
+		data = binary.BigEndian.AppendUint16(data, r.SrcPort)
+		data = binary.BigEndian.AppendUint16(data, r.DstPort)
+		data = append(data, r.Protocol)
+		data = binary.BigEndian.AppendUint32(data, r.SrcAS)
+		data = binary.BigEndian.AppendUint32(data, r.DstAS)
+		rate := r.SamplingRate
+		if rate == 0 {
+			rate = 1
+		}
+		data = binary.BigEndian.AppendUint32(data, rate)
+	}
+	body = binary.BigEndian.AppendUint16(body, flowTemplateID)
+	body = binary.BigEndian.AppendUint16(body, uint16(setHeaderLen+len(data)))
+	body = append(body, data...)
+
+	msg := make([]byte, 0, headerLen+len(body))
+	msg = binary.BigEndian.AppendUint16(msg, VersionIPFIX)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(headerLen+len(body)))
+	msg = binary.BigEndian.AppendUint32(msg, uint32(exportTime.Unix()))
+	msg = binary.BigEndian.AppendUint32(msg, uint32(e.seq))
+	e.seq += uint64(len(records))
+	msg = binary.BigEndian.AppendUint32(msg, e.DomainID)
+	return append(msg, body...), nil
+}
+
+// Decoder parses IPFIX messages, keeping per-domain template state.
+type Decoder struct {
+	mu        sync.Mutex
+	templates map[uint64][]fieldSpec
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{templates: make(map[uint64][]fieldSpec)}
+}
+
+// Decode parses one IPFIX message and returns its flow records.
+func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
+	if len(b) < headerLen {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b) != VersionIPFIX {
+		return nil, ErrBadVersion
+	}
+	msgLen := int(binary.BigEndian.Uint16(b[2:]))
+	if msgLen < headerLen || msgLen > len(b) {
+		return nil, ErrTruncated
+	}
+	domain := binary.BigEndian.Uint32(b[12:])
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	var out []flow.Record
+	off := headerLen
+	for off+setHeaderLen <= msgLen {
+		setID := binary.BigEndian.Uint16(b[off:])
+		setLen := int(binary.BigEndian.Uint16(b[off+2:]))
+		if setLen < setHeaderLen || off+setLen > msgLen {
+			return nil, ErrBadSet
+		}
+		content := b[off+setHeaderLen : off+setLen]
+		switch {
+		case setID == templateSetID:
+			if err := d.parseTemplates(domain, content); err != nil {
+				return nil, err
+			}
+		case setID >= minDataSetID:
+			recs, err := d.parseData(domain, setID, content)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+		}
+		off += setLen
+	}
+	return out, nil
+}
+
+func (d *Decoder) parseTemplates(domain uint32, b []byte) error {
+	off := 0
+	for off+4 <= len(b) {
+		tid := binary.BigEndian.Uint16(b[off:])
+		count := int(binary.BigEndian.Uint16(b[off+2:]))
+		off += 4
+		if off+count*4 > len(b) {
+			return ErrBadSet
+		}
+		fields := make([]fieldSpec, count)
+		for i := range fields {
+			fields[i] = fieldSpec{
+				ID:     binary.BigEndian.Uint16(b[off:]),
+				Length: binary.BigEndian.Uint16(b[off+2:]),
+			}
+			off += 4
+		}
+		d.templates[uint64(domain)<<16|uint64(tid)] = fields
+	}
+	return nil
+}
+
+func (d *Decoder) parseData(domain uint32, tid uint16, b []byte) ([]flow.Record, error) {
+	fields, ok := d.templates[uint64(domain)<<16|uint64(tid)]
+	if !ok {
+		return nil, ErrNoTemplate
+	}
+	recLen := 0
+	for _, f := range fields {
+		recLen += int(f.Length)
+	}
+	if recLen == 0 {
+		return nil, ErrBadSet
+	}
+	var out []flow.Record
+	for off := 0; off+recLen <= len(b); off += recLen {
+		var rec flow.Record
+		fo := off
+		for _, f := range fields {
+			v := b[fo : fo+int(f.Length)]
+			switch f.ID {
+			case ieSourceIPv4Address:
+				rec.Src = netutil.Addr4(binary.BigEndian.Uint32(v))
+			case ieDestIPv4Address:
+				rec.Dst = netutil.Addr4(binary.BigEndian.Uint32(v))
+			case iePacketDeltaCount:
+				rec.Packets = binary.BigEndian.Uint64(v)
+			case ieOctetDeltaCount:
+				rec.Bytes = binary.BigEndian.Uint64(v)
+			case ieFlowStartMilliseconds:
+				rec.Start = time.UnixMilli(int64(binary.BigEndian.Uint64(v))).UTC()
+			case ieFlowEndMilliseconds:
+				rec.End = time.UnixMilli(int64(binary.BigEndian.Uint64(v))).UTC()
+			case ieSourceTransportPort:
+				rec.SrcPort = binary.BigEndian.Uint16(v)
+			case ieDestTransportPort:
+				rec.DstPort = binary.BigEndian.Uint16(v)
+			case ieProtocolIdentifier:
+				rec.Protocol = v[0]
+			case ieBgpSourceAsNumber:
+				rec.SrcAS = binary.BigEndian.Uint32(v)
+			case ieBgpDestAsNumber:
+				rec.DstAS = binary.BigEndian.Uint32(v)
+			case ieSamplingInterval:
+				rec.SamplingRate = binary.BigEndian.Uint32(v)
+			}
+			fo += int(f.Length)
+		}
+		if rec.SamplingRate == 0 {
+			rec.SamplingRate = 1
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Exporter ships IPFIX messages to a collector over UDP.
+type Exporter struct {
+	conn net.Conn
+	enc  Encoder
+	mu   sync.Mutex
+}
+
+// NewExporter dials the collector at addr ("host:port").
+func NewExporter(addr string, domainID uint32) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: dialing collector: %w", err)
+	}
+	return &Exporter{conn: conn, enc: Encoder{DomainID: domainID}}, nil
+}
+
+// Export encodes and sends one message.
+func (e *Exporter) Export(records []flow.Record, exportTime time.Time) error {
+	e.mu.Lock()
+	msg, err := e.enc.Encode(records, exportTime)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := e.conn.Write(msg); err != nil {
+		return fmt.Errorf("ipfix: sending message: %w", err)
+	}
+	return nil
+}
+
+// Close releases the exporter's socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Collector receives IPFIX messages over UDP and hands decoded records to
+// a callback.
+type Collector struct {
+	conn net.PacketConn
+	dec  *Decoder
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewCollector listens on addr (e.g. "127.0.0.1:0").
+func NewCollector(addr string) (*Collector, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: listening: %w", err)
+	}
+	return &Collector{conn: conn, dec: NewDecoder()}, nil
+}
+
+// Addr reports the collector's bound address.
+func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+// Run reads messages until Close is called, invoking handle for each
+// decoded batch. Messages with unknown templates are dropped silently, as
+// RFC 7011 collectors do while awaiting a template refresh.
+func (c *Collector) Run(handle func([]flow.Record)) error {
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := c.conn.ReadFrom(buf)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("ipfix: receiving: %w", err)
+		}
+		recs, err := c.dec.Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		if len(recs) > 0 {
+			handle(recs)
+		}
+	}
+}
+
+// Close stops the collector.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

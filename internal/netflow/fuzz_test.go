@@ -1,0 +1,51 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+)
+
+func FuzzDecodeV5(f *testing.F) {
+	e := &V5Exporter{BootTime: boot}
+	pkt, _ := e.EncodeV5(sampleRecords(3), now)
+	f.Add(pkt)
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 0, 30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeV5(data)
+		if err != nil {
+			return
+		}
+		for _, r := range p.Records {
+			if r.SamplingRate == 0 {
+				t.Fatal("decoded record with zero sampling rate")
+			}
+			if !r.Src.Is4() || !r.Dst.Is4() {
+				t.Fatal("non-IPv4 record address")
+			}
+		}
+	})
+}
+
+func FuzzDecodeV9(f *testing.F) {
+	e := &V9Exporter{SourceID: 7, BootTime: boot}
+	withTpl, _ := e.EncodeV9(sampleRecords(2), now)
+	f.Add(withTpl)
+	f.Add([]byte{0, 9, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each input gets a fresh collector: fuzzing must not depend on
+		// template state carried across inputs.
+		c := NewV9Collector()
+		recs, err := c.DecodeV9(data)
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.Start.After(r.End.Add(365 * 24 * time.Hour)) {
+				// Wildly inconsistent timestamps are fine to decode but
+				// must not wrap negative durations into panics later.
+				_ = r.Duration()
+			}
+		}
+	})
+}

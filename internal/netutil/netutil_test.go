@@ -1,0 +1,185 @@
+package netutil
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddr4RoundTrip(t *testing.T) {
+	cases := []uint32{0, 1, 0x0a000001, 0xc0a80101, 0xffffffff}
+	for _, v := range cases {
+		addr := Addr4(v)
+		if got := Addr4Val(addr); got != v {
+			t.Errorf("Addr4Val(Addr4(%#x)) = %#x", v, got)
+		}
+	}
+}
+
+func TestAddr4RoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool { return Addr4Val(Addr4(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddr4ValMapped(t *testing.T) {
+	mapped := netip.AddrFrom16(netip.MustParseAddr("::ffff:10.0.0.1").As16())
+	if got := Addr4Val(mapped); got != 0x0a000001 {
+		t.Errorf("Addr4Val(4-in-6) = %#x, want 0x0a000001", got)
+	}
+}
+
+func TestAddr4ValPanicsOnIPv6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for IPv6 address")
+		}
+	}()
+	Addr4Val(netip.MustParseAddr("2001:db8::1"))
+}
+
+func TestNthAddr(t *testing.T) {
+	p := netip.MustParsePrefix("192.0.2.0/24")
+	if got := NthAddr(p, 0); got != netip.MustParseAddr("192.0.2.0") {
+		t.Errorf("NthAddr(p, 0) = %v", got)
+	}
+	if got := NthAddr(p, 255); got != netip.MustParseAddr("192.0.2.255") {
+		t.Errorf("NthAddr(p, 255) = %v", got)
+	}
+}
+
+func TestNthAddrUnmaskedPrefix(t *testing.T) {
+	// A prefix whose Addr has host bits set must still index from the
+	// network address.
+	p := netip.MustParsePrefix("192.0.2.77/24")
+	if got := NthAddr(p, 1); got != netip.MustParseAddr("192.0.2.1") {
+		t.Errorf("NthAddr = %v, want 192.0.2.1", got)
+	}
+}
+
+func TestNthAddrOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	NthAddr(netip.MustParsePrefix("192.0.2.0/24"), 256)
+}
+
+func TestPrefixSize(t *testing.T) {
+	if got := PrefixSize(netip.MustParsePrefix("10.0.0.0/24")); got != 256 {
+		t.Errorf("PrefixSize(/24) = %d", got)
+	}
+	if got := PrefixSize(netip.MustParsePrefix("10.0.0.0/32")); got != 1 {
+		t.Errorf("PrefixSize(/32) = %d", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/64 identical values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRand(7)
+	childA := parent.Fork("alpha")
+	parent2 := NewRand(7)
+	_ = parent2.Fork("alpha")
+	childB := parent2.Fork("beta")
+	// A forked child must not replay another-named child's stream.
+	diverged := false
+	for i := 0; i < 16; i++ {
+		if childA.Uint64() != childB.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("differently named forks produced identical streams")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(11)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Errorf("stddev = %.3f, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := NewRand(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(5, 1.5); v < 5 {
+			t.Fatalf("Pareto draw %.4f below scale 5", v)
+		}
+	}
+}
+
+func TestBitrateString(t *testing.T) {
+	cases := []struct {
+		rate Bitrate
+		want string
+	}{
+		{500 * Bps, "500 bps"},
+		{1500 * Bps, "1.50 Kbps"},
+		{2 * Mbps, "2.00 Mbps"},
+		{7.078 * Gbps, "7.08 Gbps"},
+		{1.7 * Tbps, "1.70 Tbps"},
+	}
+	for _, c := range cases {
+		if got := c.rate.String(); got != c.want {
+			t.Errorf("(%v bps).String() = %q, want %q", float64(c.rate), got, c.want)
+		}
+	}
+}
+
+func TestRateFromBytes(t *testing.T) {
+	// 125 MB over one second is 1 Gbps.
+	if got := RateFromBytes(125_000_000, 1); got != 1*Gbps {
+		t.Errorf("RateFromBytes = %v", got)
+	}
+	if got := RateFromBytes(1000, 0); got != 0 {
+		t.Errorf("RateFromBytes with zero duration = %v, want 0", got)
+	}
+}
+
+func TestBitrateConversions(t *testing.T) {
+	r := 2500 * Mbps
+	if got := r.Gbps(); got != 2.5 {
+		t.Errorf("Gbps() = %v", got)
+	}
+	if got := r.Mbps(); got != 2500 {
+		t.Errorf("Mbps() = %v", got)
+	}
+}

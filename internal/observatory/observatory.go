@@ -1,0 +1,377 @@
+// Package observatory implements the study's IXP-based DDoS observatory:
+// a measurement AS that receives self-inflicted booter attacks, captures
+// the traffic, and performs the post-mortem analysis behind Figure 1 —
+// per-second traffic rates, reflector counts, peer-AS counts, and the
+// transit/peering handover split.
+package observatory
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/flow"
+	"booterscope/internal/ixp"
+	"booterscope/internal/netutil"
+	"booterscope/internal/packet"
+	"booterscope/internal/pcap"
+)
+
+// Observatory is the measurement platform: an AS with a /24, one port at
+// the IXP, and full packet capture.
+type Observatory struct {
+	Fabric *ixp.Fabric
+	Prefix netip.Prefix
+
+	rand    *netutil.Rand
+	nextISP int
+}
+
+// New connects a fresh measurement AS to the fabric.
+func New(fabric *ixp.Fabric, asn uint32, prefix netip.Prefix, capacity netutil.Bitrate, seed uint64) (*Observatory, error) {
+	if err := fabric.ConnectMeasurementAS(asn, prefix, capacity); err != nil {
+		return nil, err
+	}
+	return &Observatory{
+		Fabric: fabric,
+		Prefix: prefix,
+		rand:   netutil.NewRand(seed).Fork("observatory"),
+	}, nil
+}
+
+// NextTargetIP hands out a fresh address from the /24 so each attack is
+// isolated in the capture, as the study's methodology requires.
+func (o *Observatory) NextTargetIP() netip.Addr {
+	o.nextISP++
+	n := o.nextISP % (netutil.PrefixSize(o.Prefix) - 2)
+	return netutil.NthAddr(o.Prefix, 1+n)
+}
+
+// SecondSample is one second of the received attack as the capture sees
+// it.
+type SecondSample struct {
+	Second int
+	// Mbps is the delivered traffic rate (clamped by the port).
+	Mbps float64
+	// OfferedMbps is the rate directed at the measurement AS before
+	// port drops — what the IXP's sampled flow traces reveal even when
+	// the 10GE port saturates (how the study measured the 20 Gbps VIP
+	// attack).
+	OfferedMbps float64
+	// Reflectors is the number of distinct sources delivering traffic.
+	Reflectors int
+	// Peers is the number of IXP member ASes handing over traffic.
+	Peers int
+	// ViaTransitFrac is the byte share arriving over the transit link.
+	ViaTransitFrac float64
+	// TransitFlapped marks seconds where saturation flapped the BGP
+	// session.
+	TransitFlapped bool
+	// Blackholed marks seconds where the victim address was RTBH
+	// blackholed: neighbors dropped the traffic at their edges.
+	Blackholed bool
+	// FlowSpecFilteredMbps is attack traffic discarded at the neighbors'
+	// edges by FlowSpec rules this second.
+	FlowSpecFilteredMbps float64
+}
+
+// Report is the post-mortem analysis of one self-attack.
+type Report struct {
+	Booter  string
+	Vector  amplify.Vector
+	Tier    booter.Tier
+	Target  netip.Addr
+	Samples []SecondSample
+	// ReflectorSet is the set of amplifiers the attack drew on (for
+	// overlap analysis across attacks).
+	ReflectorSet []netip.Addr
+	// TransitShare is the overall byte fraction delivered via transit.
+	TransitShare float64
+	// Flaps counts transit BGP flaps during the attack.
+	Flaps int
+	// PlatformRecords is the sampled IXP view of the attack (peering
+	// traffic only).
+	PlatformRecords []flow.Record
+}
+
+// PeakMbps returns the highest per-second rate.
+func (r *Report) PeakMbps() float64 {
+	var peak float64
+	for _, s := range r.Samples {
+		if s.Mbps > peak {
+			peak = s.Mbps
+		}
+	}
+	return peak
+}
+
+// PeakOfferedMbps returns the highest per-second rate directed at the
+// measurement AS, including traffic the saturated port dropped.
+func (r *Report) PeakOfferedMbps() float64 {
+	var peak float64
+	for _, s := range r.Samples {
+		if s.OfferedMbps > peak {
+			peak = s.OfferedMbps
+		}
+	}
+	return peak
+}
+
+// PeakFilteredMbps returns the highest per-second FlowSpec-discarded
+// rate.
+func (r *Report) PeakFilteredMbps() float64 {
+	var peak float64
+	for _, s := range r.Samples {
+		if s.FlowSpecFilteredMbps > peak {
+			peak = s.FlowSpecFilteredMbps
+		}
+	}
+	return peak
+}
+
+// MeanMbps returns the average per-second rate.
+func (r *Report) MeanMbps() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += s.Mbps
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// MaxReflectors returns the peak per-second reflector count.
+func (r *Report) MaxReflectors() int {
+	max := 0
+	for _, s := range r.Samples {
+		if s.Reflectors > max {
+			max = s.Reflectors
+		}
+	}
+	return max
+}
+
+// MaxPeers returns the peak per-second peer count.
+func (r *Report) MaxPeers() int {
+	max := 0
+	for _, s := range r.Samples {
+		if s.Peers > max {
+			max = s.Peers
+		}
+	}
+	return max
+}
+
+// CaptureOptions tunes the packet capture accompanying a run.
+type CaptureOptions struct {
+	// Writer receives a pcap stream of sampled attack packets. Nil
+	// disables capture.
+	Writer io.Writer
+	// PacketsPerSecond bounds how many real packets are written per
+	// second of attack (the full rate would be millions; the capture
+	// stores a representative sample). Default 16.
+	PacketsPerSecond int
+	// OnSample, when set, observes every per-second sample as the
+	// attack runs. Mitigation policies hook in here — e.g. announcing
+	// an RTBH blackhole once the rate crosses a safety threshold.
+	OnSample func(SecondSample)
+}
+
+// RunAttack drives a launched attack through the fabric second by
+// second and returns the post-mortem report. start stamps the capture
+// and platform records.
+func (o *Observatory) RunAttack(atk *booter.Attack, start time.Time, opts CaptureOptions) (*Report, error) {
+	report := &Report{
+		Booter: atk.Order.Service.Name,
+		Vector: atk.Order.Vector,
+		Tier:   atk.Order.Tier,
+		Target: atk.Order.Target,
+	}
+	for _, ref := range atk.Reflectors {
+		report.ReflectorSet = append(report.ReflectorSet, ref.Addr)
+	}
+
+	var pw *pcap.Writer
+	if opts.Writer != nil {
+		var err error
+		pw, err = pcap.NewWriter(opts.Writer, pcap.LinkTypeRaw, 0)
+		if err != nil {
+			return nil, fmt.Errorf("observatory: opening capture: %w", err)
+		}
+		if opts.PacketsPerSecond <= 0 {
+			opts.PacketsPerSecond = 16
+		}
+	}
+
+	proto, err := amplify.ForVector(atk.Order.Vector)
+	if err != nil {
+		return nil, err
+	}
+
+	var totalBytes, transitBytes uint64
+	for {
+		em, ok := atk.Next()
+		if !ok {
+			break
+		}
+		ts := start.Add(time.Duration(em.Second) * time.Second)
+		if o.Fabric.IsBlackholed(atk.Order.Target) {
+			// Neighbors drop the traffic at their edges: nothing
+			// arrives, not even via peering.
+			sample := SecondSample{
+				Second:     em.Second,
+				Blackholed: true,
+			}
+			report.Samples = append(report.Samples, sample)
+			if opts.OnSample != nil {
+				opts.OnSample(sample)
+			}
+			continue
+		}
+		h, err := o.Fabric.DeliverTo(atk.Order.Target, em.Sources)
+		if err != nil {
+			return nil, err
+		}
+
+		// Count reflectors whose origin AS actually delivered traffic.
+		delivered := make(map[uint32]bool, len(h.ViaPeeringBytes))
+		for asn := range h.ViaPeeringBytes {
+			delivered[asn] = true
+		}
+		reflectors := 0
+		for asn, n := range em.ReflectorsByAS {
+			if delivered[asn] {
+				reflectors += n
+				continue
+			}
+			// Transit-delivered ASes: all their reflectors arrive too.
+			if o.contributedViaTransit(asn, h) {
+				reflectors += n
+			}
+		}
+		deliveredBytes := h.DeliveredBytes()
+		sample := SecondSample{
+			Second:               em.Second,
+			Mbps:                 float64(deliveredBytes) * 8 / 1e6,
+			OfferedMbps:          float64(h.ViaTransitBytes+h.PeeringBytesTotal()) * 8 / 1e6,
+			Reflectors:           reflectors,
+			Peers:                h.PeerCount(),
+			TransitFlapped:       h.TransitFlapped,
+			FlowSpecFilteredMbps: float64(h.FlowSpecFilteredBytes) * 8 / 1e6,
+		}
+		if deliveredBytes > 0 {
+			sample.ViaTransitFrac = float64(h.ViaTransitBytes) / float64(h.ViaTransitBytes+h.PeeringBytesTotal())
+		}
+		report.Samples = append(report.Samples, sample)
+		if opts.OnSample != nil {
+			opts.OnSample(sample)
+		}
+		if h.TransitFlapped {
+			report.Flaps++
+		}
+		totalBytes += h.ViaTransitBytes + h.PeeringBytesTotal()
+		transitBytes += h.ViaTransitBytes
+
+		report.PlatformRecords = append(report.PlatformRecords,
+			o.Fabric.PlatformExport(h, atk.Order.Target, atk.Order.Vector.Port(), ts)...)
+
+		if pw != nil && deliveredBytes > 0 {
+			if err := o.capturePackets(pw, proto, atk, ts, opts.PacketsPerSecond); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if totalBytes > 0 {
+		report.TransitShare = float64(transitBytes) / float64(totalBytes)
+	}
+	return report, nil
+}
+
+// contributedViaTransit reports whether an AS's traffic was delivered on
+// the transit link this second (it is neither a peering AS nor
+// unreachable).
+func (o *Observatory) contributedViaTransit(asn uint32, h *ixp.Handover) bool {
+	if h.ViaTransitBytes == 0 {
+		return false
+	}
+	if _, viaPeering := h.ViaPeeringBytes[asn]; viaPeering {
+		return false
+	}
+	// With transit up every non-peering AS is carried by it.
+	return true
+}
+
+// captureMTU is the link MTU the capture sees; amplification responses
+// larger than this (CLDAP, DNS) arrive as IP fragments.
+const captureMTU = 1500
+
+// capturePackets writes a representative sample of genuine attack
+// packets (real amplification payloads in real IP/UDP framing,
+// fragmented at the MTU exactly as they would arrive on the wire).
+func (o *Observatory) capturePackets(pw *pcap.Writer, proto amplify.Protocol, atk *booter.Attack, ts time.Time, n int) error {
+	refs := atk.Reflectors
+	if len(refs) == 0 {
+		return nil
+	}
+	responses := proto.BuildResponses(o.rand, proto.BuildRequest(o.rand))
+	for i := 0; i < n; i++ {
+		ref := refs[o.rand.IntN(len(refs))]
+		payload := responses[o.rand.IntN(len(responses))]
+		pkt := packet.Build(
+			&packet.IPv4{
+				TTL:      uint8(48 + o.rand.IntN(16)),
+				ID:       uint16(o.rand.Uint64()),
+				Protocol: packet.IPProtoUDP,
+				Src:      ref.Addr,
+				Dst:      atk.Order.Target,
+			},
+			&packet.UDP{SrcPort: atk.Order.Vector.Port(), DstPort: uint16(1024 + o.rand.IntN(60000))},
+			packet.Payload(payload),
+		)
+		frags, err := packet.Fragment(pkt, captureMTU)
+		if err != nil {
+			return fmt.Errorf("observatory: fragmenting capture packet: %w", err)
+		}
+		for j, frag := range frags {
+			stamp := ts.Add(time.Duration(i)*time.Millisecond + time.Duration(j)*time.Microsecond)
+			if err := pw.WritePacket(stamp, frag); err != nil {
+				return fmt.Errorf("observatory: writing capture: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Figure1aPoint is one (reflectors, peers, Mbps) sample for the Figure
+// 1(a) scatter.
+type Figure1aPoint struct {
+	Label      string
+	Reflectors int
+	Peers      int
+	Mbps       float64
+}
+
+// Figure1aData flattens reports into per-second scatter points, skipping
+// the ramp-up seconds as the study's plots do.
+func Figure1aData(reports []*Report) []Figure1aPoint {
+	var out []Figure1aPoint
+	for _, r := range reports {
+		label := fmt.Sprintf("booter %s %v", r.Booter, r.Vector)
+		for _, s := range r.Samples {
+			if s.Second < 5 {
+				continue
+			}
+			out = append(out, Figure1aPoint{
+				Label:      label,
+				Reflectors: s.Reflectors,
+				Peers:      s.Peers,
+				Mbps:       s.Mbps,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+package observatory
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"booterscope/internal/amplify"
+	"booterscope/internal/booter"
+	"booterscope/internal/ixp"
+	"booterscope/internal/netutil"
+	"booterscope/internal/packet"
+	"booterscope/internal/pcap"
+	"booterscope/internal/reflector"
+)
+
+var start = time.Date(2018, 6, 12, 14, 0, 0, 0, time.UTC)
+
+// testRig assembles fabric + observatory + booter engine with reflector
+// ASes that partially overlap the IXP membership.
+func testRig(t testing.TB, portCapacity netutil.Bitrate) (*Observatory, *booter.Engine) {
+	t.Helper()
+	f := ixp.New(ixp.Config{RouteServerASN: 65500, TransitASN: 174, PlatformSamplingRate: 100, Seed: 3})
+	// 100 members spread sparsely over the reflector AS range
+	// (1000..1399): a quarter of reflector ASes peer at the IXP, and 70 %
+	// of those prefer their own upstream, yielding the paper's ~80/20
+	// transit/peering split.
+	for i := 0; i < 100; i++ {
+		f.AddMember(uint32(1000+i*4), 100*netutil.Gbps, i%10 >= 3)
+	}
+	obs, err := New(f, 64512, netip.MustParsePrefix("203.0.113.0/24"), portCapacity, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := map[amplify.Vector]*reflector.Pool{
+		amplify.NTP:       reflector.NewPool(amplify.NTP, 50000, 400, 3),
+		amplify.CLDAP:     reflector.NewPool(amplify.CLDAP, 20000, 400, 3),
+		amplify.Memcached: reflector.NewPool(amplify.Memcached, 5000, 100, 3),
+	}
+	return obs, booter.NewEngine(pools, 3)
+}
+
+func TestNextTargetIPUnique(t *testing.T) {
+	obs, _ := testRig(t, 10*netutil.Gbps)
+	seen := make(map[netip.Addr]bool)
+	for i := 0; i < 50; i++ {
+		ip := obs.NextTargetIP()
+		if !obs.Prefix.Contains(ip) {
+			t.Fatalf("target %v outside prefix", ip)
+		}
+		if seen[ip] {
+			t.Fatalf("target %v reused within 50 draws", ip)
+		}
+		seen[ip] = true
+	}
+}
+
+func TestRunNonVIPAttack(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("A")
+	atk, err := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.NTP,
+		Target: obs.NextTargetIP(), Duration: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.RunAttack(atk, start, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) != 60 {
+		t.Fatalf("samples = %d", len(rep.Samples))
+	}
+	if rep.PeakMbps() < 500 || rep.PeakMbps() > 7100 {
+		t.Errorf("peak = %.0f Mbps", rep.PeakMbps())
+	}
+	if rep.MeanMbps() <= 0 || rep.MeanMbps() > rep.PeakMbps() {
+		t.Errorf("mean = %.0f Mbps", rep.MeanMbps())
+	}
+	// Most traffic should arrive via transit (paper: ~80 %).
+	if rep.TransitShare < 0.5 || rep.TransitShare > 0.98 {
+		t.Errorf("transit share = %.2f", rep.TransitShare)
+	}
+	if rep.MaxReflectors() < 100 {
+		t.Errorf("max reflectors = %d", rep.MaxReflectors())
+	}
+	if rep.MaxPeers() < 5 || rep.MaxPeers() > 100 {
+		t.Errorf("max peers = %d", rep.MaxPeers())
+	}
+	if len(rep.ReflectorSet) == 0 {
+		t.Error("reflector set empty")
+	}
+	// Platform records exist and are peering-only (sampled).
+	if len(rep.PlatformRecords) == 0 {
+		t.Error("no platform records")
+	}
+	for _, r := range rep.PlatformRecords {
+		if r.SrcPort != 123 {
+			t.Errorf("platform record src port = %d", r.SrcPort)
+		}
+	}
+}
+
+func TestVIPAttackSaturatesAndFlaps(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("B")
+	atk, err := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.NTP, Tier: booter.VIP,
+		Target: obs.NextTargetIP(), Duration: 300 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.RunAttack(atk, start, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 20 Gbps attack into a 10GE port must saturate and flap the
+	// transit session at least once — the study's interrupted VIP run.
+	if rep.Flaps == 0 {
+		t.Error("VIP attack should flap the transit session")
+	}
+	// Delivered traffic is clamped at port capacity.
+	if rep.PeakMbps() > 10000.1 {
+		t.Errorf("peak %.0f Mbps exceeds port capacity", rep.PeakMbps())
+	}
+	// Some seconds lose transit entirely (session down): transit fraction 0.
+	sawTransitLoss := false
+	for _, s := range rep.Samples {
+		if s.ViaTransitFrac == 0 && s.Mbps > 0 {
+			sawTransitLoss = true
+			break
+		}
+	}
+	if !sawTransitLoss {
+		t.Error("expected seconds with transit down after flap")
+	}
+}
+
+func TestNoTransitReducesVolumeIncreasesPeers(t *testing.T) {
+	run := func(transit bool) (*Report, error) {
+		obs, eng := testRig(t, 10*netutil.Gbps)
+		if err := obs.Fabric.SetTransit(transit); err != nil {
+			return nil, err
+		}
+		svc, _ := booter.ServiceByName("A")
+		atk, err := eng.Launch(booter.Order{
+			Service: svc, Vector: amplify.NTP,
+			Target: obs.NextTargetIP(), Duration: 60 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return obs.RunAttack(atk, start, CaptureOptions{})
+	}
+	withTransit, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTransit, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noTransit.MeanMbps() >= withTransit.MeanMbps() {
+		t.Errorf("no-transit mean %.0f >= with-transit %.0f", noTransit.MeanMbps(), withTransit.MeanMbps())
+	}
+	if noTransit.MaxPeers() <= withTransit.MaxPeers() {
+		t.Errorf("no-transit peers %d <= with-transit %d", noTransit.MaxPeers(), withTransit.MaxPeers())
+	}
+	if noTransit.TransitShare != 0 {
+		t.Errorf("no-transit share = %v", noTransit.TransitShare)
+	}
+}
+
+func TestCaptureProducesValidPcap(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("A")
+	atk, err := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.NTP,
+		Target: obs.NextTargetIP(), Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := obs.RunAttack(atk, start, CaptureOptions{Writer: &buf, PacketsPerSecond: 8}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	monlistSized := 0
+	for {
+		_, data, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := packet.DecodeIPv4(data)
+		if err != nil {
+			t.Fatalf("captured packet %d: %v", count, err)
+		}
+		if d.UDP == nil || d.UDP.SrcPort != 123 {
+			t.Fatalf("captured packet %d not from NTP port", count)
+		}
+		if d.TotalLen == 486 || d.TotalLen == 490 {
+			monlistSized++
+		}
+		count++
+	}
+	if count != 80 {
+		t.Errorf("captured %d packets, want 80", count)
+	}
+	if monlistSized != count {
+		t.Errorf("%d/%d packets have monlist sizes", monlistSized, count)
+	}
+}
+
+func TestFigure1aData(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("A")
+	atk, _ := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.NTP,
+		Target: obs.NextTargetIP(), Duration: 30 * time.Second,
+	})
+	rep, err := obs.RunAttack(atk, start, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Figure1aData([]*Report{rep})
+	// Ramp-up seconds (0..4) are skipped.
+	if len(pts) != 25 {
+		t.Fatalf("points = %d, want 25", len(pts))
+	}
+	for _, p := range pts {
+		if p.Label != "booter A NTP" {
+			t.Errorf("label = %q", p.Label)
+		}
+		if p.Mbps <= 0 || p.Reflectors <= 0 || p.Peers <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+}
+
+func BenchmarkRunAttack(b *testing.B) {
+	obs, eng := testRig(b, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("A")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		atk, err := eng.Launch(booter.Order{
+			Service: svc, Vector: amplify.NTP,
+			Target: obs.NextTargetIP(), Duration: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := obs.RunAttack(atk, start, CaptureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBlackholeStopsAttackTraffic(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("A")
+	target := obs.NextTargetIP()
+	atk, err := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.NTP,
+		Target: target, Duration: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mitigation policy: blackhole the victim once the delivered rate
+	// crosses 1 Gbps — the ethics safety valve from the paper.
+	triggered := false
+	opts := CaptureOptions{OnSample: func(s SecondSample) {
+		if !triggered && s.Mbps > 1000 {
+			triggered = true
+			if err := obs.Fabric.AnnounceBlackhole(target); err != nil {
+				t.Errorf("blackhole: %v", err)
+			}
+		}
+	}}
+	rep, err := obs.RunAttack(atk, start, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !triggered {
+		t.Fatal("mitigation never triggered")
+	}
+	// After the blackhole engages, every remaining second is dropped.
+	sawBlackholed := false
+	for i, s := range rep.Samples {
+		if s.Blackholed {
+			sawBlackholed = true
+			if s.Mbps != 0 || s.Peers != 0 {
+				t.Errorf("second %d: blackholed but traffic arrived", i)
+			}
+		} else if sawBlackholed {
+			t.Errorf("second %d: traffic resumed after blackhole", i)
+		}
+	}
+	if !sawBlackholed {
+		t.Fatal("no blackholed seconds recorded")
+	}
+}
+
+func TestOnSampleObservesEverySecond(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("D")
+	atk, err := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.NTP,
+		Target: obs.NextTargetIP(), Duration: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	_, err = obs.RunAttack(atk, start, CaptureOptions{OnSample: func(SecondSample) { seen++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 15 {
+		t.Errorf("OnSample saw %d seconds, want 15", seen)
+	}
+}
+
+func TestCLDAPCaptureFragmentsAndReassembles(t *testing.T) {
+	obs, eng := testRig(t, 10*netutil.Gbps)
+	svc, _ := booter.ServiceByName("B")
+	atk, err := eng.Launch(booter.Order{
+		Service: svc, Vector: amplify.CLDAP,
+		Target: obs.NextTargetIP(), Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := obs.RunAttack(atk, start, CaptureOptions{Writer: &buf, PacketsPerSecond: 6}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := packet.NewReassembler()
+	var wirePackets, datagrams, fragmented int
+	for {
+		hdr, data, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wirePackets++
+		if len(data) > 1500 {
+			t.Fatalf("wire packet of %d bytes exceeds the MTU", len(data))
+		}
+		full, err := ra.Add(data, hdr.Timestamp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full == nil {
+			continue
+		}
+		datagrams++
+		if len(full) > 1500 {
+			fragmented++
+		}
+		d, err := packet.DecodeIPv4(full)
+		if err != nil {
+			t.Fatalf("reassembled datagram undecodable: %v", err)
+		}
+		if d.UDP == nil || d.UDP.SrcPort != amplify.CLDAP.Port() {
+			t.Fatal("reassembled datagram lost the CLDAP port")
+		}
+	}
+	if datagrams != 30 {
+		t.Errorf("datagrams = %d, want 30 (6/s x 5s)", datagrams)
+	}
+	// CLDAP searchResEntry responses are multi-kilobyte: the capture
+	// must contain more wire packets than datagrams.
+	if wirePackets <= datagrams {
+		t.Errorf("wire packets %d <= datagrams %d; no fragmentation happened", wirePackets, datagrams)
+	}
+	if fragmented == 0 {
+		t.Error("no reassembled datagram exceeded the MTU")
+	}
+}

@@ -1,0 +1,37 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeRaw, 0)
+	_ = w.WritePacket(time.Unix(1545220800, 0), []byte{1, 2, 3, 4})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, fileHeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Read everything; bounded by input size, must not panic or
+		// allocate unboundedly (capLen is checked against snapLen).
+		for i := 0; i < 1000; i++ {
+			_, pkt, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(pkt) > r.SnapLen() {
+				t.Fatal("packet exceeds snap length")
+			}
+		}
+	})
+}
