@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check race demo demo-lossy
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full suite
+# under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+demo:
+	$(GO) run ./cmd/collector -demo -listen 127.0.0.1:0
+
+# demo-lossy routes the demo traffic through the chaos proxy and prints
+# the fault ledger next to the collector's loss accounting.
+demo-lossy:
+	$(GO) run ./cmd/collector -demo -listen 127.0.0.1:0 -loss 0.05 -reorder 0.01

@@ -1,0 +1,220 @@
+// End-to-end fault-injection tests: a full exporter → chaos.Proxy →
+// collector → monitor pipeline over real UDP sockets, asserting that
+// (a) the collector's loss accounting matches the proxy's injected-drop
+// ledger exactly under a fixed seed, and (b) detection quality degrades
+// gracefully — not cliff-like — as datagram loss rises from 0% to 20%.
+package booterscope_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"booterscope/internal/chaos"
+	"booterscope/internal/classify"
+	"booterscope/internal/core"
+	"booterscope/internal/flow"
+	"booterscope/internal/ipfix"
+	"booterscope/internal/trafficgen"
+)
+
+// chaosRun is the outcome of one synthetic day exported through an
+// optional chaos proxy into a collector + monitor.
+type chaosRun struct {
+	sent    int
+	victims map[netip.Addr]bool
+	stats   ipfix.CollectorStats
+	ledger  chaos.Ledger
+}
+
+// runChaosPipeline exports one day of tier-2 traffic over UDP — through
+// a chaos.Proxy when plan is non-nil — and returns what the collector
+// and monitor made of it.
+func runChaosPipeline(t *testing.T, plan *chaos.Plan) chaosRun {
+	t.Helper()
+	col, err := ipfix.NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	monitor := classify.NewMonitor(classify.Config{})
+	victims := make(map[netip.Addr]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The handler runs on the collector's single decode worker, so
+		// monitor and victims need no locking; read them after <-done.
+		_ = col.Run(func(recs []flow.Record) {
+			for i := range recs {
+				if a := monitor.Add(&recs[i]); a != nil {
+					victims[a.Victim] = true
+				}
+			}
+		})
+	}()
+
+	exportAddr := col.Addr().String()
+	var proxy *chaos.Proxy
+	if plan != nil {
+		proxy, err = chaos.NewProxy("127.0.0.1:0", exportAddr, *plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exportAddr = proxy.Addr().String()
+	}
+
+	scenario := trafficgen.NewScenario(trafficgen.Config{
+		Start: core.StudyStart, Days: 1, Takedown: core.TakedownDate,
+		Seed: 1, Scale: 0.3,
+	})
+	records := scenario.Day(trafficgen.KindTier2, 0)
+	exp, err := ipfix.NewExporter(exportAddr, 64512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// Every message self-describing: a lossy path must not strand the
+	// collector waiting out a 20-message template refresh cycle.
+	exp.SetTemplateRefresh(1)
+	day := scenario.DayTime(0)
+	for i := 0; i < len(records); i += 50 {
+		end := i + 50
+		if end > len(records) {
+			end = len(records)
+		}
+		if err := exp.Export(records[i:end], day); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 0 {
+			time.Sleep(time.Millisecond) // pace: UDP has no flow control
+		}
+	}
+	if proxy != nil {
+		proxy.Flush() // release a datagram held back for reordering
+	}
+
+	// Drain: wait until the collector's record count has been stable
+	// for several polls (all in-flight datagrams decoded).
+	deadline := time.Now().Add(5 * time.Second)
+	last, stable := uint64(0), 0
+	for time.Now().Before(deadline) && stable < 5 {
+		time.Sleep(20 * time.Millisecond)
+		if cur := col.Stats().Records; cur == last {
+			stable++
+		} else {
+			stable, last = 0, cur
+		}
+	}
+	col.Close()
+	<-done
+	out := chaosRun{sent: len(records), victims: victims, stats: col.Stats()}
+	if proxy != nil {
+		out.ledger = proxy.Ledger()
+		proxy.Close()
+	}
+	return out
+}
+
+// recall reports the fraction of baseline victims a degraded run still
+// alerted on.
+func recall(degraded, baseline map[netip.Addr]bool) float64 {
+	if len(baseline) == 0 {
+		return 1
+	}
+	hit := 0
+	for v := range baseline {
+		if degraded[v] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(baseline))
+}
+
+// TestChaosLossAccountingMatchesLedger is the headline robustness
+// check: with seed-fixed 5% loss plus reordering injected between
+// exporter and collector, the collector's sequence-gap accounting must
+// equal the proxy's injected-drop ledger record for record, and the
+// monitor must still raise at least 90% of the lossless run's alerts.
+func TestChaosLossAccountingMatchesLedger(t *testing.T) {
+	base := runChaosPipeline(t, nil)
+	if base.stats.LostRecords() != 0 || base.stats.Shed != 0 {
+		t.Fatalf("lossless baseline already degraded: %+v", base.stats)
+	}
+	if len(base.victims) == 0 {
+		t.Fatal("lossless baseline raised no alerts")
+	}
+
+	faulty := runChaosPipeline(t, &chaos.Plan{
+		Seed:        7,
+		DropRate:    0.05,
+		ReorderRate: 0.02,
+		IPFIXAware:  true,
+	})
+	if faulty.ledger.TotalDropped() == 0 {
+		t.Fatal("proxy injected no drops at 5% over a day of messages")
+	}
+	// Shedding would add collector-side loss the proxy knows nothing
+	// about; the bounded queue must absorb this demo-scale load.
+	if faulty.stats.Shed != 0 {
+		t.Fatalf("collector shed %d datagrams under light load", faulty.stats.Shed)
+	}
+	if faulty.stats.DecodeErrors != 0 || faulty.stats.NoTemplate != 0 {
+		t.Fatalf("undecodable messages despite per-message templates: %+v", faulty.stats)
+	}
+
+	// The acceptance equality: every record the proxy dropped (and
+	// could attribute) shows up in the collector's gap accounting, and
+	// nothing else does. Reordered datagrams must cancel out via the
+	// late-arrival credit.
+	if got, want := faulty.stats.LostRecords(), faulty.ledger.TotalDroppedRecords(); got != want {
+		t.Errorf("collector lost %d records, proxy ledger attributes %d", got, want)
+	}
+
+	if r := recall(faulty.victims, base.victims); r < 0.9 {
+		t.Errorf("alert recall %.2f at 5%% loss, want >= 0.90 (%d/%d victims)",
+			r, len(faulty.victims), len(base.victims))
+	}
+}
+
+// TestChaosRecallDegradesGracefully sweeps datagram loss from 0% to
+// 20% and asserts detection quality decays smoothly: no cliff where a
+// few percent more loss wipes out alerting, and collected volume
+// tracking the injected loss rate rather than collapsing.
+func TestChaosRecallDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss sweep skipped in -short mode")
+	}
+	base := runChaosPipeline(t, nil)
+	if len(base.victims) == 0 {
+		t.Fatal("lossless baseline raised no alerts")
+	}
+
+	rates := []float64{0.05, 0.10, 0.20}
+	prev := 1.0
+	for _, rate := range rates {
+		run := runChaosPipeline(t, &chaos.Plan{Seed: 7, DropRate: rate, IPFIXAware: true})
+		r := recall(run.victims, base.victims)
+		t.Logf("loss %.0f%%: %d/%d records, recall %.2f, %d records lost",
+			rate*100, run.stats.Records, uint64(run.sent), r, run.stats.LostRecords())
+
+		// Graceful: recall stays high across the sweep...
+		if r < 0.8 {
+			t.Errorf("recall %.2f at %.0f%% loss, want >= 0.80", r, rate*100)
+		}
+		// ...and never falls off a cliff between adjacent rates.
+		if prev-r > 0.2 {
+			t.Errorf("recall cliff: %.2f -> %.2f between loss rates", prev, r)
+		}
+		prev = r
+
+		// Collected volume should track the loss rate (records lost ~=
+		// rate), not collapse: losing one datagram must cost only that
+		// datagram's records.
+		collected := float64(run.stats.Records) / float64(run.sent)
+		if floor := 1 - rate - 0.15; collected < floor {
+			t.Errorf("collected %.2f of records at %.0f%% loss, want >= %.2f",
+				collected, rate*100, floor)
+		}
+	}
+}

@@ -1,11 +1,18 @@
 // Command collector is a production-style IPFIX collector with live NTP
 // amplification detection: it listens for export packets over UDP,
 // decodes them, and raises one alert line per victim crossing the
-// study's conservative attack thresholds.
+// study's conservative attack thresholds. On shutdown it prints the
+// full loss accounting — sequence gaps, shed datagrams, decode errors,
+// and monitor capacity events — so degraded collection is never silent.
 //
 // With -demo it additionally spins up an internal exporter feeding a day
 // of synthetic tier-2 traffic through the socket and exits when done —
-// a self-contained end-to-end demonstration.
+// a self-contained end-to-end demonstration. Adding -loss (and
+// optionally -reorder, -chaosseed) routes the demo traffic through a
+// chaos.Proxy so the degraded-collection accounting can be watched
+// live:
+//
+//	go run ./cmd/collector -demo -loss 0.05 -reorder 0.01
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"booterscope/internal/chaos"
 	"booterscope/internal/classify"
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
@@ -28,10 +36,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("collector: ")
 	var (
-		listen = flag.String("listen", "127.0.0.1:4739", "UDP listen address (4739 is the IPFIX port)")
-		demo   = flag.Bool("demo", false, "feed a day of synthetic traffic through the socket and exit")
-		seed   = flag.Uint64("seed", 1, "demo traffic seed")
-		scale  = flag.Float64("scale", 0.3, "demo traffic scale")
+		listen    = flag.String("listen", "127.0.0.1:4739", "UDP listen address (4739 is the IPFIX port)")
+		demo      = flag.Bool("demo", false, "feed a day of synthetic traffic through the socket and exit")
+		seed      = flag.Uint64("seed", 1, "demo traffic seed")
+		scale     = flag.Float64("scale", 0.3, "demo traffic scale")
+		loss      = flag.Float64("loss", 0, "demo fault injection: datagram drop rate through chaos.Proxy")
+		reorder   = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
+		chaosSeed = flag.Uint64("chaosseed", 7, "fault injection seed")
 	)
 	flag.Parse()
 
@@ -62,13 +73,38 @@ func main() {
 	}()
 
 	if *demo {
-		runDemo(col.Addr().String(), *seed, *scale)
-		// Let in-flight datagrams drain before reporting.
-		time.Sleep(200 * time.Millisecond)
+		exportAddr := col.Addr().String()
+		var proxy *chaos.Proxy
+		if *loss > 0 || *reorder > 0 {
+			proxy, err = chaos.NewProxy("127.0.0.1:0", exportAddr, chaos.Plan{
+				Seed:        *chaosSeed,
+				DropRate:    *loss,
+				ReorderRate: *reorder,
+				IPFIXAware:  true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			exportAddr = proxy.Addr().String()
+			fmt.Printf("demo traffic passes chaos proxy %s (loss %.1f%%, reorder %.1f%%)\n",
+				proxy.Addr(), *loss*100, *reorder*100)
+		}
+		runDemo(exportAddr, *seed, *scale)
+		if proxy != nil {
+			proxy.Flush() // release a datagram held for reordering
+		}
+		drain(&records)
 		col.Close()
 		<-done
 		fmt.Printf("demo complete: %d records collected, %d alerts raised\n",
 			records.Load(), alerts.Load())
+		if proxy != nil {
+			l := proxy.Ledger()
+			fmt.Printf("chaos ledger: %d received, %d forwarded, %d dropped, %d reordered, %d records dropped\n",
+				l.Received, l.Forwarded, l.TotalDropped(), l.Reordered, l.TotalDroppedRecords())
+			proxy.Close()
+		}
+		report(col, monitor)
 		return
 	}
 
@@ -79,6 +115,48 @@ func main() {
 	<-done
 	fmt.Printf("shutting down: %d records collected, %d alerts raised\n",
 		records.Load(), alerts.Load())
+	report(col, monitor)
+}
+
+// drain waits until the record counter has been stable for several
+// polls (all in-flight datagrams decoded) or a timeout passes — a
+// deterministic replacement for a fixed sleep, so -demo never
+// under-reports on slow machines.
+func drain(records *atomic.Int64) {
+	const (
+		poll        = 20 * time.Millisecond
+		stableNeed  = 5 // consecutive unchanged polls
+		maxDrainFor = 5 * time.Second
+	)
+	deadline := time.Now().Add(maxDrainFor)
+	last := records.Load()
+	stable := 0
+	for time.Now().Before(deadline) {
+		time.Sleep(poll)
+		cur := records.Load()
+		if cur == last {
+			stable++
+			if stable >= stableNeed {
+				return
+			}
+			continue
+		}
+		stable, last = 0, cur
+	}
+}
+
+// report prints the collector and monitor accounting snapshots.
+func report(col *ipfix.Collector, monitor *classify.Monitor) {
+	s := col.Stats()
+	fmt.Printf("collector: %s\n", col.Health())
+	fmt.Printf("  %d messages, %d bytes, %d records, %d shed, %d decode errors, %d without template\n",
+		s.Messages, s.Bytes, s.Records, s.Shed, s.DecodeErrors, s.NoTemplate)
+	for id, ds := range s.Domains {
+		fmt.Printf("  domain %d: %d msgs, %d records, %d lost (gap %d, late %d), %d dup, %d resets, %d unknown-template sets\n",
+			id, ds.Messages, ds.Records, ds.LostRecords(), ds.SeqGapRecords,
+			ds.SeqLateRecords, ds.DuplicateMessages, ds.SeqResets, ds.UnknownTemplateSets)
+	}
+	fmt.Printf("monitor: %s\n", monitor.Health())
 }
 
 // runDemo exports one synthetic day of tier-2 traffic to the collector.
@@ -96,6 +174,9 @@ func runDemo(addr string, seed uint64, scale float64) {
 		log.Fatal(err)
 	}
 	defer exp.Close()
+	// Lossy paths cannot wait 20 messages for a template refresh: make
+	// every message self-describing.
+	exp.SetTemplateRefresh(1)
 	for i := 0; i < len(records); i += 50 {
 		end := i + 50
 		if end > len(records) {

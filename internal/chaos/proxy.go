@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"booterscope/internal/netutil"
+)
+
+// Proxy is a UDP relay applying a Plan's faults between an exporter
+// and a collector. Point the exporter at Addr(); the proxy forwards
+// (or drops, duplicates, reorders, corrupts) each datagram toward the
+// target address. All fault decisions come from a PCG stream seeded by
+// the plan, so a run is exactly reproducible.
+type Proxy struct {
+	plan Plan
+	in   net.PacketConn
+	out  net.Conn
+	rng  *netutil.Rand
+
+	mu     sync.Mutex
+	ledger Ledger
+	held   []byte
+	// pending tracks, per observation domain, the last received IPFIX
+	// message's sequence number and whether it was dropped; the next
+	// message's sequence delta sizes it (see Plan.IPFIXAware).
+	pending map[uint32]pendingMsg
+	closed  bool
+	done    chan struct{}
+}
+
+type pendingMsg struct {
+	seq     uint32
+	dropped bool
+	// anyBefore records whether any earlier message of the domain was
+	// forwarded: drops before the first delivery are invisible to the
+	// collector (it has no sequence baseline yet), so they are not
+	// attributed either — both ledgers agree by construction.
+	anyBefore bool
+}
+
+// NewProxy starts a proxy listening on listen (e.g. "127.0.0.1:0")
+// and relaying toward target. It serves until Close.
+func NewProxy(listen, target string, plan Plan) (*Proxy, error) {
+	in, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listening: %w", err)
+	}
+	out, err := net.Dial("udp", target)
+	if err != nil {
+		in.Close()
+		return nil, fmt.Errorf("chaos: dialing target: %w", err)
+	}
+	p := &Proxy{
+		plan: plan,
+		in:   in,
+		out:  out,
+		rng:  netutil.NewRand(plan.Seed),
+		done: make(chan struct{}),
+	}
+	if plan.IPFIXAware {
+		p.ledger.DroppedRecords = make(map[uint32]uint64)
+		p.pending = make(map[uint32]pendingMsg)
+	}
+	go p.serve()
+	return p, nil
+}
+
+// Addr reports the address exporters should send to.
+func (p *Proxy) Addr() net.Addr { return p.in.LocalAddr() }
+
+// Ledger returns a snapshot of the fault accounting so far.
+func (p *Proxy) Ledger() Ledger {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ledger.clone()
+}
+
+// Flush releases a datagram held back for reordering, if any. Call it
+// after the exporter has finished sending: the hold is released by the
+// next forwarded datagram, and the last one may otherwise wait
+// forever.
+func (p *Proxy) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushHeldLocked()
+}
+
+func (p *Proxy) flushHeldLocked() {
+	if p.held == nil {
+		return
+	}
+	p.write(p.held)
+	p.held = nil
+}
+
+// Close stops the proxy, flushing any held datagram first.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.flushHeldLocked()
+	p.mu.Unlock()
+	err := p.in.Close()
+	<-p.done
+	p.out.Close()
+	return err
+}
+
+func (p *Proxy) serve() {
+	defer close(p.done)
+	buf := make([]byte, 65535)
+	idx := 0
+	for {
+		n, _, err := p.in.ReadFrom(buf)
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			if !closed {
+				p.flushHeldLocked()
+			}
+			p.mu.Unlock()
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		p.process(pkt, idx)
+		idx++
+	}
+}
+
+// process decides one datagram's fate. The four random draws happen
+// unconditionally and in fixed order, so with the same seed the drop
+// positions at 5% loss are a subset of those at 20% — sweeps across
+// rates perturb only what the rate change itself implies.
+func (p *Proxy) process(pkt []byte, idx int) {
+	dropDraw := p.rng.Float64()
+	corruptDraw := p.rng.Float64()
+	dupDraw := p.rng.Float64()
+	reorderDraw := p.rng.Float64()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ledger.Received++
+
+	dropped, blackout := false, false
+	for _, b := range p.plan.Blackouts {
+		if b.contains(idx) {
+			dropped, blackout = true, true
+			break
+		}
+	}
+	if !dropped && dropDraw < p.plan.DropRate {
+		dropped = true
+	}
+	p.attribute(pkt, dropped)
+
+	if dropped {
+		if blackout {
+			p.ledger.BlackoutDropped++
+		} else {
+			p.ledger.Dropped++
+		}
+		return
+	}
+
+	if corruptDraw < p.plan.CorruptRate && len(pkt) > 0 {
+		pkt[p.rng.IntN(len(pkt))] ^= 0xff
+		p.ledger.Corrupted++
+	}
+
+	if reorderDraw < p.plan.ReorderRate && p.held == nil {
+		// Hold this datagram; the next forwarded one releases it,
+		// swapping the pair on the wire.
+		p.held = pkt
+		p.ledger.Reordered++
+		return
+	}
+
+	p.write(pkt)
+	if dupDraw < p.plan.DuplicateRate {
+		p.write(pkt)
+		p.ledger.Duplicated++
+	}
+	p.flushHeldLocked()
+}
+
+// attribute credits the previous datagram's record count to the drop
+// ledger once this datagram's sequence number reveals it.
+func (p *Proxy) attribute(pkt []byte, dropped bool) {
+	if !p.plan.IPFIXAware {
+		return
+	}
+	seq, domain, ok := ipfixHeader(pkt)
+	if !ok {
+		return
+	}
+	prev, seen := p.pending[domain]
+	if seen && prev.dropped && prev.anyBefore {
+		p.ledger.DroppedRecords[domain] += uint64(seq - prev.seq) // mod 2^32
+	}
+	p.pending[domain] = pendingMsg{
+		seq:       seq,
+		dropped:   dropped,
+		anyBefore: seen && (prev.anyBefore || !prev.dropped),
+	}
+}
+
+// write forwards one datagram toward the target. Callers hold p.mu.
+func (p *Proxy) write(pkt []byte) {
+	if _, err := p.out.Write(pkt); err != nil {
+		p.ledger.ForwardErrors++
+		return
+	}
+	p.ledger.Forwarded++
+}

@@ -26,42 +26,128 @@ func (a Alert) String() string {
 		a.Minute.Format("2006-01-02 15:04"), a.Victim, a.Gbps, a.Sources)
 }
 
+// Capacity defaults for the monitor's bounded state.
+const (
+	// DefaultMaxMinutes caps tracked (victim, minute) bins.
+	DefaultMaxMinutes = 1 << 17
+	// DefaultMaxSourcesPerBin caps each bin's distinct-source set.
+	DefaultMaxSourcesPerBin = 1 << 16
+)
+
+// MonitorStats is a snapshot of the monitor's ingest and capacity
+// accounting. Nothing the monitor discards is silent: every record
+// refused at a capacity limit and every bin evicted is counted here.
+type MonitorStats struct {
+	// Records counts records fed to Add; Matched counts those passing
+	// the optimistic amplified-NTP filter.
+	Records uint64
+	Matched uint64
+	// Alerts counts alerts raised.
+	Alerts uint64
+	// RejectedRecords counts matched records refused because the
+	// victim table was at MaxMinutes and no bin could be created —
+	// graceful degradation under adversarial victim-address churn.
+	RejectedRecords uint64
+	// EvictedBins counts minute bins dropped past the retention
+	// horizon.
+	EvictedBins uint64
+	// SourceOverflows counts source addresses not tracked because a
+	// bin's source set was at MaxSourcesPerBin.
+	SourceOverflows uint64
+}
+
+// MonitorHealth condenses the stats into an operational verdict.
+type MonitorHealth struct {
+	ActiveMinutes int
+	ActiveAlerts  int
+	// Saturated reports the victim table at its capacity bound: new
+	// victims are not being tracked until retention frees space.
+	Saturated       bool
+	RejectedRecords uint64
+	SourceOverflows uint64
+}
+
+// String formats the health snapshot as a log line.
+func (h MonitorHealth) String() string {
+	state := "healthy"
+	if h.Saturated || h.RejectedRecords > 0 {
+		state = "degraded"
+	}
+	return fmt.Sprintf("%s: %d minute bins, %d live alerts, %d records rejected at capacity, %d source overflows",
+		state, h.ActiveMinutes, h.ActiveAlerts, h.RejectedRecords, h.SourceOverflows)
+}
+
+// monAgg is one (victim, minute) bin with a bounded source set.
+type monAgg struct {
+	bytes   uint64
+	sources *flow.SourceSet
+}
+
 // Monitor is the streaming counterpart of Classifier: it consumes flow
 // records as a collector receives them and emits one Alert per victim
 // when it first passes the conservative filter. State for minutes older
-// than the retention horizon is evicted, so a Monitor can run
+// than the retention horizon is evicted, the victim table is capped at
+// MaxMinutes bins, and per-bin source sets are capped at
+// MaxSourcesPerBin, so a Monitor survives adversarial source-address
+// churn with accounted (not silent) degradation and can run
 // indefinitely.
 type Monitor struct {
 	cfg Config
 	// Retention bounds how long minute state is kept (default 10
 	// minutes).
 	Retention time.Duration
-
-	minutes map[minuteKey]*minuteAgg
-	alerted map[netip.Addr]time.Time
 	// ReAlertAfter re-raises for a victim still under attack after this
 	// long (default 30 minutes).
 	ReAlertAfter time.Duration
-	latest       time.Time
+	// MaxMinutes caps tracked (victim, minute) bins; at the cap, new
+	// bins are refused and counted (default DefaultMaxMinutes; <= 0
+	// selects the default).
+	MaxMinutes int
+	// MaxSourcesPerBin caps each bin's distinct-source set (default
+	// DefaultMaxSourcesPerBin; <= 0 selects the default).
+	MaxSourcesPerBin int
+
+	minutes map[minuteKey]*monAgg
+	alerted map[netip.Addr]time.Time
+	latest  time.Time
+	stats   MonitorStats
 }
 
 // NewMonitor returns an empty streaming detector.
 func NewMonitor(cfg Config) *Monitor {
 	return &Monitor{
-		cfg:          cfg.withDefaults(),
-		Retention:    10 * time.Minute,
-		ReAlertAfter: 30 * time.Minute,
-		minutes:      make(map[minuteKey]*minuteAgg),
-		alerted:      make(map[netip.Addr]time.Time),
+		cfg:              cfg.withDefaults(),
+		Retention:        10 * time.Minute,
+		ReAlertAfter:     30 * time.Minute,
+		MaxMinutes:       DefaultMaxMinutes,
+		MaxSourcesPerBin: DefaultMaxSourcesPerBin,
+		minutes:          make(map[minuteKey]*monAgg),
+		alerted:          make(map[netip.Addr]time.Time),
 	}
+}
+
+func (m *Monitor) maxMinutes() int {
+	if m.MaxMinutes <= 0 {
+		return DefaultMaxMinutes
+	}
+	return m.MaxMinutes
+}
+
+func (m *Monitor) maxSourcesPerBin() int {
+	if m.MaxSourcesPerBin <= 0 {
+		return DefaultMaxSourcesPerBin
+	}
+	return m.MaxSourcesPerBin
 }
 
 // Add consumes one record and returns an alert if its victim just
 // crossed the thresholds (nil otherwise).
 func (m *Monitor) Add(r *flow.Record) *Alert {
+	m.stats.Records++
 	if !IsAmplifiedNTP(r, m.cfg) {
 		return nil
 	}
+	m.stats.Matched++
 	minute := r.Start.UTC().Truncate(time.Minute)
 	if minute.After(m.latest) {
 		m.latest = minute
@@ -70,25 +156,37 @@ func (m *Monitor) Add(r *flow.Record) *Alert {
 	key := minuteKey{dst: r.Dst, minute: minute.Unix()}
 	agg, ok := m.minutes[key]
 	if !ok {
-		agg = &minuteAgg{sources: make(map[netip.Addr]struct{})}
+		if len(m.minutes) >= m.maxMinutes() {
+			m.evict()
+		}
+		if len(m.minutes) >= m.maxMinutes() {
+			// Table full of in-retention bins: refuse the new bin but
+			// account for it. Established victims keep aggregating.
+			m.stats.RejectedRecords++
+			return nil
+		}
+		agg = &monAgg{sources: flow.NewSourceSet(m.maxSourcesPerBin())}
 		m.minutes[key] = agg
 	}
 	agg.bytes += r.ScaledBytes()
-	agg.sources[r.Src] = struct{}{}
+	if !agg.sources.Add(r.Src) {
+		m.stats.SourceOverflows++
+	}
 
 	rate := float64(agg.bytes) * 8 / 60
-	if rate <= m.cfg.MinRateBps || len(agg.sources) <= m.cfg.MinSources {
+	if rate <= m.cfg.MinRateBps || agg.sources.Len() <= m.cfg.MinSources {
 		return nil
 	}
 	if last, ok := m.alerted[r.Dst]; ok && minute.Sub(last) < m.ReAlertAfter {
 		return nil
 	}
 	m.alerted[r.Dst] = minute
+	m.stats.Alerts++
 	return &Alert{
 		Victim:  r.Dst,
 		Minute:  minute,
 		Gbps:    rate / 1e9,
-		Sources: len(agg.sources),
+		Sources: agg.sources.Len(),
 	}
 }
 
@@ -99,6 +197,7 @@ func (m *Monitor) evict() {
 	for key := range m.minutes {
 		if key.minute < horizon {
 			delete(m.minutes, key)
+			m.stats.EvictedBins++
 		}
 	}
 	alertHorizon := m.latest.Add(-2 * m.ReAlertAfter)
@@ -106,6 +205,20 @@ func (m *Monitor) evict() {
 		if last.Before(alertHorizon) {
 			delete(m.alerted, victim)
 		}
+	}
+}
+
+// Stats returns a snapshot of the monitor's accounting.
+func (m *Monitor) Stats() MonitorStats { return m.stats }
+
+// Health condenses the monitor's state into an operational verdict.
+func (m *Monitor) Health() MonitorHealth {
+	return MonitorHealth{
+		ActiveMinutes:   len(m.minutes),
+		ActiveAlerts:    len(m.alerted),
+		Saturated:       len(m.minutes) >= m.maxMinutes(),
+		RejectedRecords: m.stats.RejectedRecords,
+		SourceOverflows: m.stats.SourceOverflows,
 	}
 }
 

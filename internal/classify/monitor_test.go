@@ -106,6 +106,77 @@ func TestMonitorSampledRecords(t *testing.T) {
 	}
 }
 
+func TestMonitorVictimTableCap(t *testing.T) {
+	m := NewMonitor(Config{})
+	m.MaxMinutes = 10
+	// Adversarial victim churn: 50 distinct destinations in one minute.
+	for i := 0; i < 50; i++ {
+		dst := fmt.Sprintf("203.0.113.%d", i+1)
+		r := ntpRec("21.0.0.1", dst, 486, 1000, t0)
+		m.Add(&r)
+	}
+	if m.ActiveMinutes() != 10 {
+		t.Errorf("active minutes = %d, want capped at 10", m.ActiveMinutes())
+	}
+	st := m.Stats()
+	if st.RejectedRecords != 40 {
+		t.Errorf("rejected = %d, want 40", st.RejectedRecords)
+	}
+	h := m.Health()
+	if !h.Saturated {
+		t.Error("health not saturated at cap")
+	}
+	if !strings.Contains(h.String(), "degraded") {
+		t.Errorf("health string = %q, want degraded", h.String())
+	}
+	// Established victims keep aggregating and can still alert.
+	if alerts := feedAttack(m, "203.0.113.1", 100, 3, t0); len(alerts) != 1 {
+		t.Errorf("established victim raised %d alerts under saturation, want 1", len(alerts))
+	}
+	// Retention frees capacity again: a fresh minute far in the future
+	// evicts everything and new victims are tracked.
+	if alerts := feedAttack(m, "203.0.113.99", 100, 3, t0.Add(time.Hour)); len(alerts) != 1 {
+		t.Errorf("post-eviction victim raised %d alerts, want 1", len(alerts))
+	}
+	if m.Stats().EvictedBins == 0 {
+		t.Error("no evictions accounted")
+	}
+}
+
+func TestMonitorSourceSetCap(t *testing.T) {
+	m := NewMonitor(Config{})
+	m.MaxSourcesPerBin = 20
+	alerts := feedAttack(m, "203.0.113.40", 200, 3, t0)
+	// The bin still crosses both thresholds (20 tracked sources > 10)
+	// even though 180 sources went untracked.
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if alerts[0].Sources != 20 {
+		t.Errorf("alert sources = %d, want capped 20", alerts[0].Sources)
+	}
+	if st := m.Stats(); st.SourceOverflows != 180 {
+		t.Errorf("source overflows = %d, want 180", st.SourceOverflows)
+	}
+}
+
+func TestMonitorStatsCounts(t *testing.T) {
+	m := NewMonitor(Config{})
+	feedAttack(m, "203.0.113.50", 100, 3, t0)
+	benign := ntpRec("21.0.0.1", "203.0.113.50", 76, 1000, t0)
+	m.Add(&benign)
+	st := m.Stats()
+	if st.Records != 101 || st.Matched != 100 {
+		t.Errorf("records/matched = %d/%d, want 101/100", st.Records, st.Matched)
+	}
+	if st.Alerts != 1 {
+		t.Errorf("alerts = %d, want 1", st.Alerts)
+	}
+	if h := m.Health(); h.Saturated || !strings.Contains(h.String(), "healthy") {
+		t.Errorf("health = %q, want healthy", h.String())
+	}
+}
+
 func BenchmarkMonitorAdd(b *testing.B) {
 	m := NewMonitor(Config{})
 	r := ntpRec("21.0.0.1", "203.0.113.30", 486, 1000, t0)

@@ -183,6 +183,43 @@ func (t *Table) Flush() []Record {
 	return out
 }
 
+// SourceSet is a bounded set of source addresses with overflow
+// accounting: once Cap distinct addresses are tracked, further new
+// addresses are rejected and counted rather than grown. Streaming
+// aggregators use it so adversarial source churn (randomized spoofed
+// sources) degrades counting gracefully instead of exhausting memory.
+type SourceSet struct {
+	set      map[netip.Addr]struct{}
+	cap      int
+	overflow uint64
+}
+
+// NewSourceSet returns an empty set holding at most cap addresses
+// (cap <= 0 means unbounded).
+func NewSourceSet(cap int) *SourceSet {
+	return &SourceSet{set: make(map[netip.Addr]struct{}), cap: cap}
+}
+
+// Add tracks a. It reports false when a is new but the set is at
+// capacity; the rejection is recorded in Overflow.
+func (s *SourceSet) Add(a netip.Addr) bool {
+	if _, ok := s.set[a]; ok {
+		return true
+	}
+	if s.cap > 0 && len(s.set) >= s.cap {
+		s.overflow++
+		return false
+	}
+	s.set[a] = struct{}{}
+	return true
+}
+
+// Len reports the number of tracked addresses.
+func (s *SourceSet) Len() int { return len(s.set) }
+
+// Overflow reports how many Add calls were rejected at capacity.
+func (s *SourceSet) Overflow() uint64 { return s.overflow }
+
 // MinuteBin aggregates flow records about a single destination within one
 // minute: the core unit of the paper's victim analysis (max Gbps per
 // minute, unique sources per minute).

@@ -251,3 +251,33 @@ func BenchmarkPerDestAdd(b *testing.B) {
 		p.Add(&r)
 	}
 }
+
+func TestSourceSetCapAndOverflow(t *testing.T) {
+	s := NewSourceSet(3)
+	for i := 0; i < 5; i++ {
+		s.Add(netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}))
+	}
+	if s.Len() != 3 {
+		t.Errorf("len = %d, want capped at 3", s.Len())
+	}
+	if s.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", s.Overflow())
+	}
+	// Re-adding a tracked address succeeds and costs nothing.
+	if !s.Add(netip.AddrFrom4([4]byte{10, 0, 0, 1})) {
+		t.Error("tracked address rejected")
+	}
+	if s.Overflow() != 2 {
+		t.Errorf("overflow moved to %d on a tracked re-add", s.Overflow())
+	}
+	// cap <= 0 means unbounded.
+	u := NewSourceSet(0)
+	for i := 0; i < 100; i++ {
+		if !u.Add(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})) {
+			t.Fatal("unbounded set rejected an address")
+		}
+	}
+	if u.Len() != 100 || u.Overflow() != 0 {
+		t.Errorf("unbounded set len/overflow = %d/%d", u.Len(), u.Overflow())
+	}
+}

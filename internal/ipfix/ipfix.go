@@ -11,7 +11,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
@@ -86,9 +85,25 @@ type Encoder struct {
 	// (default 20); UDP transports must refresh templates periodically.
 	TemplateRefresh int
 
-	seq      uint64
-	messages int
+	// seq is the IPFIX sequence number: a count of exported data
+	// records modulo 2^32 (RFC 7011 §3.1). Wraparound is intentional;
+	// collectors compute gaps in uint32 arithmetic.
+	seq           uint32
+	messages      int
+	forceTemplate bool
 }
+
+// SetSeq positions the sequence number the next message will carry.
+// Tests use it to exercise exporter-restart and 2^32-wraparound paths.
+func (e *Encoder) SetSeq(v uint32) { e.seq = v }
+
+// Seq reports the sequence number the next message will carry.
+func (e *Encoder) Seq() uint32 { return e.seq }
+
+// ForceTemplate makes the next message carry the template set
+// regardless of the refresh cycle — on-demand template retransmission
+// for collectors that signal they are missing it.
+func (e *Encoder) ForceTemplate() { e.forceTemplate = true }
 
 // Encode serializes records into one IPFIX message with exportTime.
 func (e *Encoder) Encode(records []flow.Record, exportTime time.Time) ([]byte, error) {
@@ -99,7 +114,8 @@ func (e *Encoder) Encode(records []flow.Record, exportTime time.Time) ([]byte, e
 	if refresh <= 0 {
 		refresh = 20
 	}
-	withTemplate := e.messages%refresh == 0
+	withTemplate := e.forceTemplate || e.messages%refresh == 0
+	e.forceTemplate = false
 	e.messages++
 
 	var body []byte
@@ -144,24 +160,106 @@ func (e *Encoder) Encode(records []flow.Record, exportTime time.Time) ([]byte, e
 	msg = binary.BigEndian.AppendUint16(msg, VersionIPFIX)
 	msg = binary.BigEndian.AppendUint16(msg, uint16(headerLen+len(body)))
 	msg = binary.BigEndian.AppendUint32(msg, uint32(exportTime.Unix()))
-	msg = binary.BigEndian.AppendUint32(msg, uint32(e.seq))
-	e.seq += uint64(len(records))
+	msg = binary.BigEndian.AppendUint32(msg, e.seq)
+	e.seq += uint32(len(records)) // wraps mod 2^32 by design
 	msg = binary.BigEndian.AppendUint32(msg, e.DomainID)
 	return append(msg, body...), nil
 }
 
-// Decoder parses IPFIX messages, keeping per-domain template state.
+// Sequence-accounting tuning knobs.
+const (
+	// seqRestartThreshold bounds plausible loss or reordering: a jump
+	// of this many records or more (either direction) is treated as an
+	// exporter restart rather than a gap.
+	seqRestartThreshold = 1 << 30
+	// dupRingSize is how many recent sequence numbers are remembered
+	// per domain to tell duplicated messages from late (reordered)
+	// ones.
+	dupRingSize = 64
+)
+
+// domainState tracks sequence continuity for one observation domain.
+type domainState struct {
+	stats DomainStats
+	// init is false until the first parsed message seeds expected.
+	init bool
+	// countValid is false after a message whose record count could not
+	// be fully determined (unknown-template sets): the next message
+	// re-synchronizes expected without charging a gap.
+	countValid bool
+	// expected is the sequence number the next in-order message
+	// carries: previous seq + previous record count, mod 2^32.
+	expected uint32
+	ring     [dupRingSize]uint32
+	ringLen  int
+	ringPos  int
+	seen     map[uint32]struct{}
+}
+
+func (st *domainState) sawRecently(seq uint32) bool {
+	_, ok := st.seen[seq]
+	return ok
+}
+
+func (st *domainState) remember(seq uint32) {
+	if st.sawRecently(seq) {
+		return
+	}
+	if st.ringLen == dupRingSize {
+		delete(st.seen, st.ring[st.ringPos])
+	} else {
+		st.ringLen++
+	}
+	st.ring[st.ringPos] = seq
+	st.seen[seq] = struct{}{}
+	st.ringPos = (st.ringPos + 1) % dupRingSize
+}
+
+// Decoder parses IPFIX messages, keeping per-domain template state and
+// sequence-gap accounting.
 type Decoder struct {
 	mu        sync.Mutex
 	templates map[uint64][]fieldSpec
+	domains   map[uint32]*domainState
 }
 
 // NewDecoder returns an empty decoder.
 func NewDecoder() *Decoder {
-	return &Decoder{templates: make(map[uint64][]fieldSpec)}
+	return &Decoder{
+		templates: make(map[uint64][]fieldSpec),
+		domains:   make(map[uint32]*domainState),
+	}
+}
+
+// DomainStats returns a snapshot of the per-observation-domain
+// accounting accumulated so far.
+func (d *Decoder) DomainStats() map[uint32]DomainStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint32]DomainStats, len(d.domains))
+	for id, st := range d.domains {
+		out[id] = st.stats
+	}
+	return out
+}
+
+func (d *Decoder) domain(id uint32) *domainState {
+	st, ok := d.domains[id]
+	if !ok {
+		st = &domainState{seen: make(map[uint32]struct{})}
+		d.domains[id] = st
+	}
+	return st
 }
 
 // Decode parses one IPFIX message and returns its flow records.
+//
+// Data sets referencing templates the decoder has not seen are skipped
+// and counted in the domain's DomainStats rather than dropped silently;
+// ErrNoTemplate is returned only when the message yielded nothing at
+// all for want of a template. Sequence numbers are checked per domain
+// (uint32 wraparound-safe) and gaps, late arrivals, duplicates, and
+// restarts are accounted.
 func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
 	if len(b) < headerLen {
 		return nil, ErrTruncated
@@ -173,12 +271,14 @@ func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
 	if msgLen < headerLen || msgLen > len(b) {
 		return nil, ErrTruncated
 	}
+	seq := binary.BigEndian.Uint32(b[8:])
 	domain := binary.BigEndian.Uint32(b[12:])
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
 	var out []flow.Record
+	templateSets, unknownSets := 0, 0
 	off := headerLen
 	for off+setHeaderLen <= msgLen {
 		setID := binary.BigEndian.Uint16(b[off:])
@@ -192,8 +292,13 @@ func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
 			if err := d.parseTemplates(domain, content); err != nil {
 				return nil, err
 			}
+			templateSets++
 		case setID >= minDataSetID:
 			recs, err := d.parseData(domain, setID, content)
+			if errors.Is(err, ErrNoTemplate) {
+				unknownSets++
+				break
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -201,7 +306,55 @@ func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
 		}
 		off += setLen
 	}
+
+	d.account(domain, seq, len(out), unknownSets)
+	if unknownSets > 0 && len(out) == 0 && templateSets == 0 {
+		return nil, ErrNoTemplate
+	}
 	return out, nil
+}
+
+// account updates the domain's sequence and drop accounting for one
+// parsed message carrying n decoded records. Callers hold d.mu.
+func (d *Decoder) account(domain, seq uint32, n, unknownSets int) {
+	st := d.domain(domain)
+	st.stats.Messages++
+	st.stats.Records += uint64(n)
+	if unknownSets > 0 {
+		st.stats.UnknownTemplateSets += uint64(unknownSets)
+		st.stats.UnknownTemplateMessages++
+	}
+
+	switch {
+	case !st.init:
+		st.init = true
+		st.expected = seq + uint32(n)
+	case !st.countValid:
+		// The previous message's record count was incomplete; re-sync
+		// without charging a gap we cannot size.
+		st.expected = seq + uint32(n)
+	default:
+		switch diff := int32(seq - st.expected); {
+		case diff == 0:
+			st.expected = seq + uint32(n)
+		case diff > 0 && diff < seqRestartThreshold:
+			st.stats.SeqGapRecords += uint64(diff)
+			st.expected = seq + uint32(n)
+		case diff < 0 && diff > -seqRestartThreshold:
+			if st.sawRecently(seq) {
+				st.stats.DuplicateMessages++
+			} else {
+				// A reordered message arriving after its gap was
+				// charged: its records were not lost after all.
+				st.stats.SeqLateRecords += uint64(n)
+			}
+		default:
+			st.stats.SeqResets++
+			st.expected = seq + uint32(n)
+		}
+	}
+	st.countValid = unknownSets == 0
+	st.remember(seq)
 }
 
 func (d *Decoder) parseTemplates(domain uint32, b []byte) error {
@@ -280,91 +433,3 @@ func (d *Decoder) parseData(domain uint32, tid uint16, b []byte) ([]flow.Record,
 	return out, nil
 }
 
-// Exporter ships IPFIX messages to a collector over UDP.
-type Exporter struct {
-	conn net.Conn
-	enc  Encoder
-	mu   sync.Mutex
-}
-
-// NewExporter dials the collector at addr ("host:port").
-func NewExporter(addr string, domainID uint32) (*Exporter, error) {
-	conn, err := net.Dial("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ipfix: dialing collector: %w", err)
-	}
-	return &Exporter{conn: conn, enc: Encoder{DomainID: domainID}}, nil
-}
-
-// Export encodes and sends one message.
-func (e *Exporter) Export(records []flow.Record, exportTime time.Time) error {
-	e.mu.Lock()
-	msg, err := e.enc.Encode(records, exportTime)
-	e.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if _, err := e.conn.Write(msg); err != nil {
-		return fmt.Errorf("ipfix: sending message: %w", err)
-	}
-	return nil
-}
-
-// Close releases the exporter's socket.
-func (e *Exporter) Close() error { return e.conn.Close() }
-
-// Collector receives IPFIX messages over UDP and hands decoded records to
-// a callback.
-type Collector struct {
-	conn net.PacketConn
-	dec  *Decoder
-
-	mu     sync.Mutex
-	closed bool
-}
-
-// NewCollector listens on addr (e.g. "127.0.0.1:0").
-func NewCollector(addr string) (*Collector, error) {
-	conn, err := net.ListenPacket("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ipfix: listening: %w", err)
-	}
-	return &Collector{conn: conn, dec: NewDecoder()}, nil
-}
-
-// Addr reports the collector's bound address.
-func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
-
-// Run reads messages until Close is called, invoking handle for each
-// decoded batch. Messages with unknown templates are dropped silently, as
-// RFC 7011 collectors do while awaiting a template refresh.
-func (c *Collector) Run(handle func([]flow.Record)) error {
-	buf := make([]byte, 65535)
-	for {
-		n, _, err := c.conn.ReadFrom(buf)
-		if err != nil {
-			c.mu.Lock()
-			closed := c.closed
-			c.mu.Unlock()
-			if closed {
-				return nil
-			}
-			return fmt.Errorf("ipfix: receiving: %w", err)
-		}
-		recs, err := c.dec.Decode(buf[:n])
-		if err != nil {
-			continue
-		}
-		if len(recs) > 0 {
-			handle(recs)
-		}
-	}
-}
-
-// Close stops the collector.
-func (c *Collector) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	return c.conn.Close()
-}

@@ -1,0 +1,290 @@
+package ipfix
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"booterscope/internal/flow"
+	"booterscope/internal/netutil"
+)
+
+// RetryPolicy bounds how hard an Exporter tries to deliver a message
+// before giving up.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of send attempts per message
+	// (default 4).
+	MaxAttempts int
+	// Backoff spaces the retries; see netutil.Backoff for defaults.
+	// Seed Backoff.Rand for reproducible jitter.
+	Backoff netutil.Backoff
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// Exporter ships IPFIX messages to a collector over UDP, retrying
+// transient send errors with exponential backoff and re-dialing the
+// collector between attempts.
+type Exporter struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	dial  func() (net.Conn, error)
+	enc   Encoder
+	retry RetryPolicy
+	sleep func(time.Duration)
+	stats ExporterStats
+}
+
+// NewExporter dials the collector at addr ("host:port").
+func NewExporter(addr string, domainID uint32) (*Exporter, error) {
+	dial := func() (net.Conn, error) { return net.Dial("udp", addr) }
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: dialing collector: %w", err)
+	}
+	e := NewExporterConn(conn, domainID)
+	e.dial = dial
+	return e, nil
+}
+
+// NewExporterConn wraps an existing connection (an alternative
+// transport, or a fake conn under test). Without a dialer the exporter
+// retries sends but cannot re-dial.
+func NewExporterConn(conn net.Conn, domainID uint32) *Exporter {
+	return &Exporter{
+		conn:  conn,
+		enc:   Encoder{DomainID: domainID},
+		sleep: time.Sleep,
+	}
+}
+
+// SetRetry replaces the exporter's retry policy.
+func (e *Exporter) SetRetry(p RetryPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retry = p
+}
+
+// SetTemplateRefresh sets the template refresh period in messages
+// (1 = every message carries the template; see Encoder.TemplateRefresh).
+// Lossy paths want short periods: until the next template message, a
+// collector that missed the template cannot decode the domain's data.
+func (e *Exporter) SetTemplateRefresh(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enc.TemplateRefresh = n
+}
+
+// ResendTemplate forces the next message to carry the template set —
+// on-demand retransmission for a collector known to be missing it.
+func (e *Exporter) ResendTemplate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enc.ForceTemplate()
+}
+
+// Stats returns a snapshot of the exporter's delivery accounting.
+func (e *Exporter) Stats() ExporterStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Export encodes and sends one message, retrying per the retry policy.
+// The sequence number advances even when every attempt fails, so the
+// abandoned records surface at the collector as an accounted sequence
+// gap rather than vanishing.
+func (e *Exporter) Export(records []flow.Record, exportTime time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	msg, err := e.enc.Encode(records, exportTime)
+	if err != nil {
+		return err
+	}
+	attempts := e.retry.attempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			e.stats.Retries++
+			e.sleep(e.retry.Backoff.Delay(a - 1))
+			e.redial()
+		}
+		if _, err := e.conn.Write(msg); err != nil {
+			lastErr = err
+			continue
+		}
+		e.stats.Messages++
+		e.stats.Records += uint64(len(records))
+		return nil
+	}
+	e.stats.Failures++
+	// The lost message may have carried the template; re-send it with
+	// the next message so the collector is never stranded undecodable.
+	e.enc.ForceTemplate()
+	return fmt.Errorf("ipfix: sending message (%d attempts): %w", attempts, lastErr)
+}
+
+// redial replaces the socket before a retry. A fresh socket may reach a
+// restarted collector with empty template state, so the template is
+// re-sent with the next message.
+func (e *Exporter) redial() {
+	if e.dial == nil {
+		return
+	}
+	nc, err := e.dial()
+	if err != nil {
+		return
+	}
+	e.conn.Close()
+	e.conn = nc
+	e.stats.Redials++
+	e.enc.ForceTemplate()
+}
+
+// Close releases the exporter's socket.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.conn.Close()
+}
+
+// DefaultQueueSize is the default bound of the collector's ingest
+// queue.
+const DefaultQueueSize = 1024
+
+// Collector receives IPFIX messages over UDP and hands decoded records
+// to a callback. A bounded ingest queue decouples the socket reader
+// from decoding: under overload the collector sheds whole datagrams
+// with explicit accounting instead of stalling the reader and letting
+// the kernel drop invisibly.
+type Collector struct {
+	conn net.PacketConn
+	dec  *Decoder
+
+	// QueueSize bounds the ingest queue between the socket reader and
+	// the decode worker (default DefaultQueueSize). Set before Run.
+	QueueSize int
+
+	messages     atomic.Uint64
+	bytes        atomic.Uint64
+	shed         atomic.Uint64
+	decodeErrors atomic.Uint64
+	noTemplate   atomic.Uint64
+	records      atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewCollector listens on addr (e.g. "127.0.0.1:0").
+func NewCollector(addr string) (*Collector, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: listening: %w", err)
+	}
+	return &Collector{conn: conn, dec: NewDecoder()}, nil
+}
+
+// Addr reports the collector's bound address.
+func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+// Stats returns a snapshot of the collector's accounting, including
+// the decoder's per-observation-domain sequence and template state.
+func (c *Collector) Stats() CollectorStats {
+	return CollectorStats{
+		Messages:     c.messages.Load(),
+		Bytes:        c.bytes.Load(),
+		Shed:         c.shed.Load(),
+		DecodeErrors: c.decodeErrors.Load(),
+		NoTemplate:   c.noTemplate.Load(),
+		Records:      c.records.Load(),
+		Domains:      c.dec.DomainStats(),
+	}
+}
+
+// Health condenses Stats into an operational verdict.
+func (c *Collector) Health() Health {
+	s := c.Stats()
+	h := Health{
+		LostRecords:  s.LostRecords(),
+		Shed:         s.Shed,
+		DecodeErrors: s.DecodeErrors + s.NoTemplate,
+	}
+	h.OK = h.LostRecords == 0 && h.Shed == 0 && h.DecodeErrors == 0
+	return h
+}
+
+// Run reads messages until Close is called, invoking handle for each
+// decoded batch (from a single worker goroutine, so handle needs no
+// locking of its own). Undecodable messages, unknown-template drops,
+// shed datagrams, and sequence gaps are all accounted in Stats; the
+// queue is drained before Run returns.
+func (c *Collector) Run(handle func([]flow.Record)) error {
+	qsize := c.QueueSize
+	if qsize <= 0 {
+		qsize = DefaultQueueSize
+	}
+	queue := make(chan []byte, qsize)
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		for msg := range queue {
+			recs, err := c.dec.Decode(msg)
+			if err != nil {
+				if errors.Is(err, ErrNoTemplate) {
+					c.noTemplate.Add(1)
+				} else {
+					c.decodeErrors.Add(1)
+				}
+				continue
+			}
+			if len(recs) > 0 {
+				c.records.Add(uint64(len(recs)))
+				handle(recs)
+			}
+		}
+	}()
+
+	buf := make([]byte, 65535)
+	var runErr error
+	for {
+		n, _, err := c.conn.ReadFrom(buf)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if !closed {
+				runErr = fmt.Errorf("ipfix: receiving: %w", err)
+			}
+			break
+		}
+		c.messages.Add(1)
+		c.bytes.Add(uint64(n))
+		msg := make([]byte, n)
+		copy(msg, buf[:n])
+		select {
+		case queue <- msg:
+		default:
+			c.shed.Add(1) // load-shed: never block the socket reader
+		}
+	}
+	close(queue)
+	<-workerDone
+	return runErr
+}
+
+// Close stops the collector.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"net/netip"
+	"time"
 )
 
 // Addr4 converts a 32-bit integer into an IPv4 netip.Addr.
@@ -95,6 +96,47 @@ func (r *Rand) Pareto(scale, alpha float64) float64 {
 		u = r.Float64()
 	}
 	return scale / math.Pow(u, 1/alpha)
+}
+
+// Backoff computes retry delays that grow exponentially with equal
+// jitter: attempt n (0-based) draws uniformly from [c/2, c) where
+// c = min(Max, Base·2ⁿ). Driving it with a seeded Rand makes retry
+// timing reproducible, which the exporter tests rely on.
+type Backoff struct {
+	// Base is the ceiling of the first attempt's delay (default 50 ms).
+	Base time.Duration
+	// Max caps the ceiling growth (default 5 s).
+	Max time.Duration
+	// Rand supplies the jitter; nil disables jitter and returns the
+	// ceiling itself.
+	Rand *Rand
+}
+
+// Delay returns the delay before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	c := base
+	for i := 0; i < attempt; i++ {
+		c *= 2
+		if c >= max || c <= 0 { // overflow-safe: stop doubling at the cap
+			c = max
+			break
+		}
+	}
+	if b.Rand == nil {
+		return c
+	}
+	half := c / 2
+	if half <= 0 {
+		return c
+	}
+	return half + time.Duration(b.Rand.Int64N(int64(half)))
 }
 
 // Bitrate is a traffic rate in bits per second.

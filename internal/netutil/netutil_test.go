@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestAddr4RoundTrip(t *testing.T) {
@@ -181,5 +182,58 @@ func TestBitrateConversions(t *testing.T) {
 	}
 	if got := r.Mbps(); got != 2500 {
 		t.Errorf("Mbps() = %v", got)
+	}
+}
+
+func TestBackoffGrowthAndJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: NewRand(1)}
+	// Attempt n's delay is drawn from [c/2, c) with c = min(Max, Base·2ⁿ).
+	for attempt := 0; attempt < 8; attempt++ {
+		ceiling := 100 * time.Millisecond
+		for i := 0; i < attempt && ceiling < time.Second; i++ {
+			ceiling *= 2
+		}
+		if ceiling > time.Second {
+			ceiling = time.Second
+		}
+		d := b.Delay(attempt)
+		if d < ceiling/2 || d >= ceiling {
+			t.Errorf("attempt %d delay = %v, want in [%v, %v)", attempt, d, ceiling/2, ceiling)
+		}
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		b := Backoff{Base: 10 * time.Millisecond, Max: 500 * time.Millisecond, Rand: NewRand(42)}
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = b.Delay(i)
+		}
+		return out
+	}
+	a, c := mk(), mk()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Errorf("attempt %d: %v vs %v from the same seed", i, a[i], c[i])
+		}
+	}
+}
+
+func TestBackoffNoJitterAndDefaults(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 350 * time.Millisecond}
+	want := []time.Duration{100, 200, 350, 350} // capped, jitter-free ceilings (ms)
+	for i, w := range want {
+		if d := b.Delay(i); d != w*time.Millisecond {
+			t.Errorf("attempt %d delay = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+	// Zero value picks sane defaults and never returns a non-positive
+	// or unbounded delay.
+	var z Backoff
+	for i := 0; i < 40; i++ {
+		if d := z.Delay(i); d <= 0 || d > 5*time.Second {
+			t.Errorf("zero-value attempt %d delay = %v", i, d)
+		}
 	}
 }
