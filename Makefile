@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race demo demo-lossy
+.PHONY: build test check race lint demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis plus the full suite
-# under the race detector.
-check:
+# check is the pre-merge gate: static analysis, lint, plus the full
+# suite under the race detector.
+check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint enforces formatting and the telemetry-registration rule: a
+# package with bespoke Stats()/Health()/Ledger() accessors must expose
+# the same accounting through the telemetry registry.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	sh scripts/lint-telemetry.sh
 
 demo:
 	$(GO) run ./cmd/collector -demo -listen 127.0.0.1:0

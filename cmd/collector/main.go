@@ -29,6 +29,8 @@ import (
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
 	"booterscope/internal/ipfix"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/trafficgen"
 )
 
@@ -43,7 +45,9 @@ func main() {
 		loss      = flag.Float64("loss", 0, "demo fault injection: datagram drop rate through chaos.Proxy")
 		reorder   = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
 		chaosSeed = flag.Uint64("chaosseed", 7, "fault injection seed")
+		dashEvery = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
 
 	col, err := ipfix.NewCollector(*listen)
@@ -53,7 +57,25 @@ func main() {
 	defer col.Close()
 	fmt.Printf("listening for IPFIX on %s\n", col.Addr())
 
+	reg := telemetry.Default()
+	col.RegisterTelemetry(reg)
 	monitor := classify.NewMonitor(classify.Config{})
+	monitor.RegisterTelemetry(reg)
+
+	srv, err := debugserver.Start(*debugAddr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
+	if *dashEvery > 0 {
+		dash := telemetry.NewDashboard(reg, os.Stderr, *dashEvery)
+		dash.Start()
+		defer dash.Stop()
+	}
+
 	var records, alerts atomic.Int64
 	done := make(chan struct{})
 	go func() {
@@ -73,6 +95,7 @@ func main() {
 	}()
 
 	if *demo {
+		exitCode := 0
 		exportAddr := col.Addr().String()
 		var proxy *chaos.Proxy
 		if *loss > 0 || *reorder > 0 {
@@ -85,11 +108,17 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			proxy.RegisterTelemetry(reg)
 			exportAddr = proxy.Addr().String()
 			fmt.Printf("demo traffic passes chaos proxy %s (loss %.1f%%, reorder %.1f%%)\n",
 				proxy.Addr(), *loss*100, *reorder*100)
 		}
-		runDemo(exportAddr, *seed, *scale)
+		// An aborted demo still drains and reports below: the partial
+		// accounting is exactly what a degraded run needs to show.
+		if err := runDemo(exportAddr, *seed, *scale, reg); err != nil {
+			log.Printf("demo aborted: %v", err)
+			exitCode = 1
+		}
 		if proxy != nil {
 			proxy.Flush() // release a datagram held for reordering
 		}
@@ -103,8 +132,16 @@ func main() {
 			fmt.Printf("chaos ledger: %d received, %d forwarded, %d dropped, %d reordered, %d records dropped\n",
 				l.Received, l.Forwarded, l.TotalDropped(), l.Reordered, l.TotalDroppedRecords())
 			proxy.Close()
+			if lost := col.Stats().LostRecords(); exitCode == 0 && lost != l.TotalDroppedRecords() {
+				log.Printf("accounting mismatch: collector lost %d records, chaos ledger dropped %d",
+					lost, l.TotalDroppedRecords())
+				exitCode = 1
+			}
 		}
 		report(col, monitor)
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
 		return
 	}
 
@@ -160,7 +197,7 @@ func report(col *ipfix.Collector, monitor *classify.Monitor) {
 }
 
 // runDemo exports one synthetic day of tier-2 traffic to the collector.
-func runDemo(addr string, seed uint64, scale float64) {
+func runDemo(addr string, seed uint64, scale float64, reg *telemetry.Registry) error {
 	scenario := trafficgen.NewScenario(trafficgen.Config{
 		Start:    core.StudyStart,
 		Days:     1,
@@ -171,9 +208,10 @@ func runDemo(addr string, seed uint64, scale float64) {
 	records := scenario.Day(trafficgen.KindTier2, 0)
 	exp, err := ipfix.NewExporter(addr, 64512)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer exp.Close()
+	exp.RegisterTelemetry(reg)
 	// Lossy paths cannot wait 20 messages for a template refresh: make
 	// every message self-describing.
 	exp.SetTemplateRefresh(1)
@@ -183,11 +221,12 @@ func runDemo(addr string, seed uint64, scale float64) {
 			end = len(records)
 		}
 		if err := exp.Export(records[i:end], scenario.DayTime(0)); err != nil {
-			log.Fatal(err)
+			return fmt.Errorf("exporting records %d..%d: %w", i, end, err)
 		}
 		if i%1000 == 0 {
 			time.Sleep(time.Millisecond) // pace: UDP has no flow control
 		}
 	}
 	fmt.Printf("demo exporter sent %d records\n", len(records))
+	return nil
 }

@@ -10,6 +10,9 @@ import (
 	"log"
 
 	"booterscope/internal/core"
+	"booterscope/internal/flow"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
 )
 
@@ -21,7 +24,19 @@ func main() {
 		scale = flag.Float64("scale", 0.5, "traffic scale factor")
 		days  = flag.Int("days", 30, "days of traffic to analyze")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	reg := telemetry.Default()
+	flow.RegisterTelemetry(reg)
+	srv, err := debugserver.Start(*debugAddr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	study := core.NewLandscapeStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
 

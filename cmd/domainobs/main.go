@@ -13,6 +13,8 @@ import (
 
 	"booterscope/internal/core"
 	"booterscope/internal/netutil"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
 	"booterscope/internal/webobs"
 )
@@ -21,7 +23,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("domainobs: ")
 	seed := flag.Uint64("seed", 1, "random seed")
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	srv, err := debugserver.Start(*debugAddr, telemetry.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	study := core.NewDomainStudy(core.Options{Seed: *seed})
 

@@ -12,6 +12,8 @@ import (
 
 	"booterscope/internal/core"
 	"booterscope/internal/economy"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
 )
 
@@ -22,7 +24,17 @@ func main() {
 		seed = flag.Uint64("seed", 1, "random seed")
 		days = flag.Int("days", 120, "simulated days (takedown sits mid-window)")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	srv, err := debugserver.Start(*debugAddr, telemetry.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	start := core.TakedownDate.AddDate(0, 0, -*days/2)
 	market := economy.NewMarket(economy.Config{

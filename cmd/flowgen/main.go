@@ -16,6 +16,8 @@ import (
 	"booterscope/internal/flow"
 	"booterscope/internal/ipfix"
 	"booterscope/internal/netflow"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/trafficgen"
 )
 
@@ -30,7 +32,19 @@ func main() {
 		format  = flag.String("format", "ipfix", "export format: v5, v9, ipfix")
 		out     = flag.String("o", "flows.bin", "output file")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	reg := telemetry.Default()
+	flow.RegisterTelemetry(reg)
+	srv, err := debugserver.Start(*debugAddr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	var kind trafficgen.Kind
 	switch *vantage {

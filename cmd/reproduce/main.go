@@ -18,8 +18,12 @@ import (
 	"booterscope/internal/booter"
 	"booterscope/internal/core"
 	"booterscope/internal/economy"
+	"booterscope/internal/flow"
+	"booterscope/internal/ixp"
 	"booterscope/internal/observatory"
 	"booterscope/internal/takedown"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/trafficgen"
 )
 
@@ -45,7 +49,22 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "random seed")
 		scale = flag.Float64("scale", 0.3, "traffic scale for landscape/takedown studies")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	reg := telemetry.Default()
+	flow.RegisterTelemetry(reg)
+	bgp.RegisterTelemetry(reg)
+	ixp.RegisterTelemetry(reg)
+	booter.RegisterTelemetry(reg)
+	srv, err := debugserver.Start(*debugAddr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	var h harness
 	h.selfAttack(*seed)
@@ -53,6 +72,7 @@ func main() {
 	h.takedown(*seed, *scale)
 	h.domains(*seed)
 	h.extensions(*seed)
+	h.funnel(*seed, *scale, reg)
 
 	fmt.Printf("%-8s %-6s %-58s %s\n", "exp", "result", "claim", "measured")
 	failed := 0

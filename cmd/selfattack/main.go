@@ -13,9 +13,14 @@ import (
 	"time"
 
 	"booterscope/internal/amplify"
+	"booterscope/internal/bgp"
 	"booterscope/internal/booter"
 	"booterscope/internal/core"
+	"booterscope/internal/flow"
+	"booterscope/internal/ixp"
 	"booterscope/internal/observatory"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
 )
 
@@ -27,7 +32,22 @@ func main() {
 		duration = flag.Duration("duration", 60*time.Second, "duration of each non-VIP attack")
 		pcapOut  = flag.String("pcap", "", "write a pcap of sampled attack packets from one extra booter A NTP run")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	reg := telemetry.Default()
+	flow.RegisterTelemetry(reg)
+	bgp.RegisterTelemetry(reg)
+	ixp.RegisterTelemetry(reg)
+	booter.RegisterTelemetry(reg)
+	srv, err := debugserver.Start(*debugAddr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	study, err := core.NewSelfAttackStudy(core.Options{Seed: *seed})
 	if err != nil {

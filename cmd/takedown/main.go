@@ -10,6 +10,9 @@ import (
 	"strings"
 
 	"booterscope/internal/core"
+	"booterscope/internal/flow"
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
 	"booterscope/internal/trafficgen"
 )
@@ -22,7 +25,19 @@ func main() {
 		scale = flag.Float64("scale", 0.5, "traffic scale factor")
 		days  = flag.Int("days", 122, "days of traffic (122 spans the seizure ±~60 days)")
 	)
+	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	reg := telemetry.Default()
+	flow.RegisterTelemetry(reg)
+	srv, err := debugserver.Start(*debugAddr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
+	}
 
 	study := core.NewTakedownStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
 	fmt.Printf("takedown event: %s, %d booter domains seized\n\n",

@@ -127,6 +127,7 @@ func NewRIB() *RIB {
 func (rib *RIB) Insert(r Route) {
 	rib.mu.Lock()
 	defer rib.mu.Unlock()
+	metricRouteInserts.Inc()
 	list := rib.routes[r.Prefix]
 	for i := range list {
 		if list[i].NextHopAS == r.NextHopAS {
@@ -151,6 +152,7 @@ func (rib *RIB) Withdraw(prefix netip.Prefix, nextHopAS uint32) bool {
 			} else {
 				rib.routes[prefix] = list
 			}
+			metricRouteWithdraws.Inc()
 			return true
 		}
 	}
@@ -178,6 +180,7 @@ func (rib *RIB) WithdrawAllFrom(nextHopAS uint32) int {
 			rib.routes[prefix] = kept
 		}
 	}
+	metricRouteWithdraws.Add(uint64(removed))
 	return removed
 }
 
@@ -220,6 +223,7 @@ func (rib *RIB) Len() int {
 }
 
 func bestOf(list []Route) Route {
+	metricBestPathRecomps.Inc()
 	best := list[0]
 	for _, r := range list[1:] {
 		if better(r, best) {
@@ -305,6 +309,7 @@ func (s *Session) Flap() {
 	defer s.mu.Unlock()
 	if s.state == StateEstablished {
 		s.flaps++
+		metricSessionFlaps.Inc()
 	}
 	s.state = StateIdle
 	s.satTicks = 0
@@ -349,6 +354,7 @@ func (s *Session) Tick(utilization float64) bool {
 		if s.satTicks >= hold {
 			s.state = StateIdle
 			s.flaps++
+			metricSessionFlaps.Inc()
 			s.satTicks = 0
 			s.downTicks = 0
 			return true

@@ -1,0 +1,22 @@
+package bgp
+
+import "booterscope/internal/telemetry"
+
+// Package-level aggregates across every Session and RIB in the
+// process: sessions and RIBs are created per simulated AS, so the
+// metrics are package-wide sums with opt-in registration.
+var (
+	metricSessionFlaps    = telemetry.NewCounter()
+	metricBestPathRecomps = telemetry.NewCounter()
+	metricRouteInserts    = telemetry.NewCounter()
+	metricRouteWithdraws  = telemetry.NewCounter()
+)
+
+// RegisterTelemetry attaches the package's aggregate BGP accounting to
+// r under the bgp_* names.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("bgp_session_flaps_total", "eBGP sessions torn down (keepalive starvation or forced flap)", metricSessionFlaps)
+	r.MustRegister("bgp_rib_best_path_recomputations_total", "best-path selections run over a candidate route list", metricBestPathRecomps)
+	r.MustRegister("bgp_rib_route_inserts_total", "routes added or replaced in RIBs", metricRouteInserts)
+	r.MustRegister("bgp_rib_route_withdrawals_total", "routes removed from RIBs", metricRouteWithdraws)
+}

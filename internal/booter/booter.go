@@ -325,6 +325,7 @@ func (e *Engine) Launch(order Order) (*Attack, error) {
 	for i := range a.weights {
 		a.weights[i] /= sum
 	}
+	observeLaunch(order)
 	return a, nil
 }
 
@@ -403,6 +404,9 @@ func (a *Attack) Next() (*SecondEmission, bool) {
 		em.TotalBytes += bytes
 		em.TotalPackets += pkts
 	}
+	metricAttackBytes.Add(em.TotalBytes)
+	metricAttackPackets.Add(em.TotalPackets)
+	metricAttackPPS.Observe(float64(em.TotalPackets))
 	em.Sources = make([]ixp.SourceTraffic, 0, len(perAS))
 	// Deterministic order: iterate reflectors, appending each AS once.
 	seen := make(map[uint32]bool, len(perAS))

@@ -1,0 +1,37 @@
+package booter
+
+import (
+	"booterscope/internal/amplify"
+	"booterscope/internal/telemetry"
+)
+
+// Package-level aggregates across every Engine in the process, with
+// opt-in registration. The pps buckets bracket the paper's measured
+// packet rates (non-VIP NTP ~2.2 Mpps, VIP ~5.3 Mpps); the
+// amplification buckets bracket the Rossow factors (SSDP 30.8 up to
+// memcached 10000).
+var (
+	metricAttacksLaunched = telemetry.NewCounterVec("vector").SetMaxCardinality(8)
+	metricAttackBytes     = telemetry.NewCounter()
+	metricAttackPackets   = telemetry.NewCounter()
+	metricAttackPPS       = telemetry.NewHistogram(1e4, 5e4, 1e5, 5e5, 1e6, 2e6, 5e6, 1e7)
+	metricAmpFactor       = telemetry.NewHistogram(10, 30, 100, 300, 600, 1000, 5000, 10000)
+)
+
+// RegisterTelemetry attaches the package's aggregate attack accounting
+// to r under the booter_* names.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("booter_attacks_launched_total", "attacks launched by vector", metricAttacksLaunched)
+	r.MustRegister("booter_attack_bytes_total", "attack traffic emitted", metricAttackBytes)
+	r.MustRegister("booter_attack_packets_total", "attack packets emitted", metricAttackPackets)
+	r.MustRegister("booter_attack_pps", "per-second attack packet rates", metricAttackPPS)
+	r.MustRegister("booter_attack_amplification_factor", "amplification factor of launched attacks' vectors", metricAmpFactor)
+}
+
+// observeLaunch records one launched attack on the package aggregates.
+func observeLaunch(order Order) {
+	metricAttacksLaunched.With(order.Vector.String()).Inc()
+	if p, err := amplify.ForVector(order.Vector); err == nil {
+		metricAmpFactor.Observe(p.AmplificationFactor())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"booterscope/internal/netutil"
+	"booterscope/internal/telemetry"
 )
 
 // Proxy is a UDP relay applying a Plan's faults between an exporter
@@ -18,6 +19,13 @@ type Proxy struct {
 	in   net.PacketConn
 	out  net.Conn
 	rng  *netutil.Rand
+
+	// received/forwarded and faults mirror the Ledger as registry-ready
+	// metrics; the Ledger stays the exact record the e2e equalities are
+	// asserted against, these are its live scrapeable view.
+	received  *telemetry.Counter
+	forwarded *telemetry.Counter
+	faults    *telemetry.CounterVec // label: kind
 
 	mu     sync.Mutex
 	ledger Ledger
@@ -53,11 +61,14 @@ func NewProxy(listen, target string, plan Plan) (*Proxy, error) {
 		return nil, fmt.Errorf("chaos: dialing target: %w", err)
 	}
 	p := &Proxy{
-		plan: plan,
-		in:   in,
-		out:  out,
-		rng:  netutil.NewRand(plan.Seed),
-		done: make(chan struct{}),
+		plan:      plan,
+		in:        in,
+		out:       out,
+		rng:       netutil.NewRand(plan.Seed),
+		received:  telemetry.NewCounter(),
+		forwarded: telemetry.NewCounter(),
+		faults:    telemetry.NewCounterVec("kind").SetMaxCardinality(8),
+		done:      make(chan struct{}),
 	}
 	if plan.IPFIXAware {
 		p.ledger.DroppedRecords = make(map[uint32]uint64)
@@ -69,6 +80,15 @@ func NewProxy(listen, target string, plan Plan) (*Proxy, error) {
 
 // Addr reports the address exporters should send to.
 func (p *Proxy) Addr() net.Addr { return p.in.LocalAddr() }
+
+// RegisterTelemetry attaches the proxy's fault accounting to r under
+// the chaos_proxy_* names: datagrams relayed and faults applied by kind
+// (drop, blackout, duplicate, reorder, corrupt, forward_error).
+func (p *Proxy) RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("chaos_proxy_datagrams_received_total", "datagrams read from the exporter side", p.received)
+	r.MustRegister("chaos_proxy_datagrams_forwarded_total", "datagrams written toward the collector", p.forwarded)
+	r.MustRegister("chaos_proxy_faults_total", "faults applied by kind", p.faults)
+}
 
 // Ledger returns a snapshot of the fault accounting so far.
 func (p *Proxy) Ledger() Ledger {
@@ -146,6 +166,7 @@ func (p *Proxy) process(pkt []byte, idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ledger.Received++
+	p.received.Inc()
 
 	dropped, blackout := false, false
 	for _, b := range p.plan.Blackouts {
@@ -162,8 +183,10 @@ func (p *Proxy) process(pkt []byte, idx int) {
 	if dropped {
 		if blackout {
 			p.ledger.BlackoutDropped++
+			p.faults.With("blackout").Inc()
 		} else {
 			p.ledger.Dropped++
+			p.faults.With("drop").Inc()
 		}
 		return
 	}
@@ -171,6 +194,7 @@ func (p *Proxy) process(pkt []byte, idx int) {
 	if corruptDraw < p.plan.CorruptRate && len(pkt) > 0 {
 		pkt[p.rng.IntN(len(pkt))] ^= 0xff
 		p.ledger.Corrupted++
+		p.faults.With("corrupt").Inc()
 	}
 
 	if reorderDraw < p.plan.ReorderRate && p.held == nil {
@@ -178,6 +202,7 @@ func (p *Proxy) process(pkt []byte, idx int) {
 		// swapping the pair on the wire.
 		p.held = pkt
 		p.ledger.Reordered++
+		p.faults.With("reorder").Inc()
 		return
 	}
 
@@ -185,6 +210,7 @@ func (p *Proxy) process(pkt []byte, idx int) {
 	if dupDraw < p.plan.DuplicateRate {
 		p.write(pkt)
 		p.ledger.Duplicated++
+		p.faults.With("duplicate").Inc()
 	}
 	p.flushHeldLocked()
 }
@@ -214,7 +240,9 @@ func (p *Proxy) attribute(pkt []byte, dropped bool) {
 func (p *Proxy) write(pkt []byte) {
 	if _, err := p.out.Write(pkt); err != nil {
 		p.ledger.ForwardErrors++
+		p.faults.With("forward_error").Inc()
 		return
 	}
 	p.ledger.Forwarded++
+	p.forwarded.Inc()
 }

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"booterscope/internal/flow"
+	"booterscope/internal/packet"
+	"booterscope/internal/telemetry"
 )
 
 // Alert reports a victim newly crossing the conservative attack
@@ -110,7 +112,25 @@ type Monitor struct {
 	minutes map[minuteKey]*monAgg
 	alerted map[netip.Addr]time.Time
 	latest  time.Time
-	stats   MonitorStats
+	m       monitorMetrics
+}
+
+// monitorMetrics are the monitor's accounting counters as telemetry
+// atomics: MonitorStats is a thin view over them, and RegisterTelemetry
+// attaches the same objects to a registry.
+type monitorMetrics struct {
+	records   *telemetry.Counter
+	matched   *telemetry.Counter
+	alerts    *telemetry.Counter
+	rejected  *telemetry.Counter
+	evicted   *telemetry.Counter
+	overflows *telemetry.Counter
+	// detections counts amplification-shaped records by reflection
+	// protocol (ntp, dns, cldap, memcached, ...), one scrape showing the
+	// vector mix the monitor is seeing.
+	detections *telemetry.CounterVec
+	// occupancy mirrors len(minutes): the victim table's live bin count.
+	occupancy *telemetry.Gauge
 }
 
 // NewMonitor returns an empty streaming detector.
@@ -123,7 +143,58 @@ func NewMonitor(cfg Config) *Monitor {
 		MaxSourcesPerBin: DefaultMaxSourcesPerBin,
 		minutes:          make(map[minuteKey]*monAgg),
 		alerted:          make(map[netip.Addr]time.Time),
+		m: monitorMetrics{
+			records:    telemetry.NewCounter(),
+			matched:    telemetry.NewCounter(),
+			alerts:     telemetry.NewCounter(),
+			rejected:   telemetry.NewCounter(),
+			evicted:    telemetry.NewCounter(),
+			overflows:  telemetry.NewCounter(),
+			detections: telemetry.NewCounterVec("protocol").SetMaxCardinality(16),
+			occupancy:  telemetry.NewGauge(),
+		},
 	}
+}
+
+// RegisterTelemetry attaches the monitor's accounting to r under the
+// classify_monitor_* names.
+func (m *Monitor) RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("classify_monitor_records_total", "records fed to Add", m.m.records)
+	r.MustRegister("classify_monitor_matched_total", "records passing the optimistic amplified-NTP filter", m.m.matched)
+	r.MustRegister("classify_monitor_alerts_total", "alerts raised", m.m.alerts)
+	r.MustRegister("classify_monitor_rejected_records_total", "matched records refused at the victim-table cap", m.m.rejected)
+	r.MustRegister("classify_monitor_evicted_bins_total", "minute bins dropped past the retention horizon", m.m.evicted)
+	r.MustRegister("classify_monitor_source_overflows_total", "sources untracked at the per-bin cap", m.m.overflows)
+	r.MustRegister("classify_monitor_detections_total", "amplification-shaped records by reflection protocol", m.m.detections)
+	r.MustRegister("classify_monitor_active_minute_bins", "victim-table occupancy (live minute bins)", m.m.occupancy)
+}
+
+// reflectionProtocols maps well-known amplification source ports to
+// protocol labels for the per-protocol detection counter.
+var reflectionProtocols = map[uint16]string{
+	NTPPort: "ntp",
+	53:      "dns",
+	389:     "cldap",
+	11211:   "memcached",
+	1900:    "ssdp",
+	19:      "chargen",
+}
+
+// detectProtocol labels an amplification-shaped record (UDP from a
+// well-known reflection port with amplified payload sizes) or returns
+// "" for records that look benign.
+func (m *Monitor) detectProtocol(r *flow.Record) string {
+	if r.Protocol != packet.IPProtoUDP {
+		return ""
+	}
+	proto, ok := reflectionProtocols[r.SrcPort]
+	if !ok {
+		return ""
+	}
+	if r.AvgPacketSize() <= m.cfg.SizeThreshold {
+		return ""
+	}
+	return proto
 }
 
 func (m *Monitor) maxMinutes() int {
@@ -143,11 +214,14 @@ func (m *Monitor) maxSourcesPerBin() int {
 // Add consumes one record and returns an alert if its victim just
 // crossed the thresholds (nil otherwise).
 func (m *Monitor) Add(r *flow.Record) *Alert {
-	m.stats.Records++
+	m.m.records.Inc()
+	if proto := m.detectProtocol(r); proto != "" {
+		m.m.detections.With(proto).Inc()
+	}
 	if !IsAmplifiedNTP(r, m.cfg) {
 		return nil
 	}
-	m.stats.Matched++
+	m.m.matched.Inc()
 	minute := r.Start.UTC().Truncate(time.Minute)
 	if minute.After(m.latest) {
 		m.latest = minute
@@ -162,15 +236,16 @@ func (m *Monitor) Add(r *flow.Record) *Alert {
 		if len(m.minutes) >= m.maxMinutes() {
 			// Table full of in-retention bins: refuse the new bin but
 			// account for it. Established victims keep aggregating.
-			m.stats.RejectedRecords++
+			m.m.rejected.Inc()
 			return nil
 		}
 		agg = &monAgg{sources: flow.NewSourceSet(m.maxSourcesPerBin())}
 		m.minutes[key] = agg
+		m.m.occupancy.Set(float64(len(m.minutes)))
 	}
 	agg.bytes += r.ScaledBytes()
 	if !agg.sources.Add(r.Src) {
-		m.stats.SourceOverflows++
+		m.m.overflows.Inc()
 	}
 
 	rate := float64(agg.bytes) * 8 / 60
@@ -181,7 +256,7 @@ func (m *Monitor) Add(r *flow.Record) *Alert {
 		return nil
 	}
 	m.alerted[r.Dst] = minute
-	m.stats.Alerts++
+	m.m.alerts.Inc()
 	return &Alert{
 		Victim:  r.Dst,
 		Minute:  minute,
@@ -197,9 +272,10 @@ func (m *Monitor) evict() {
 	for key := range m.minutes {
 		if key.minute < horizon {
 			delete(m.minutes, key)
-			m.stats.EvictedBins++
+			m.m.evicted.Inc()
 		}
 	}
+	m.m.occupancy.Set(float64(len(m.minutes)))
 	alertHorizon := m.latest.Add(-2 * m.ReAlertAfter)
 	for victim, last := range m.alerted {
 		if last.Before(alertHorizon) {
@@ -208,8 +284,18 @@ func (m *Monitor) evict() {
 	}
 }
 
-// Stats returns a snapshot of the monitor's accounting.
-func (m *Monitor) Stats() MonitorStats { return m.stats }
+// Stats returns a snapshot of the monitor's accounting — a view over
+// the same telemetry counters RegisterTelemetry exposes.
+func (m *Monitor) Stats() MonitorStats {
+	return MonitorStats{
+		Records:         m.m.records.Value(),
+		Matched:         m.m.matched.Value(),
+		Alerts:          m.m.alerts.Value(),
+		RejectedRecords: m.m.rejected.Value(),
+		EvictedBins:     m.m.evicted.Value(),
+		SourceOverflows: m.m.overflows.Value(),
+	}
+}
 
 // Health condenses the monitor's state into an operational verdict.
 func (m *Monitor) Health() MonitorHealth {
@@ -217,8 +303,8 @@ func (m *Monitor) Health() MonitorHealth {
 		ActiveMinutes:   len(m.minutes),
 		ActiveAlerts:    len(m.alerted),
 		Saturated:       len(m.minutes) >= m.maxMinutes(),
-		RejectedRecords: m.stats.RejectedRecords,
-		SourceOverflows: m.stats.SourceOverflows,
+		RejectedRecords: m.m.rejected.Value(),
+		SourceOverflows: m.m.overflows.Value(),
 	}
 }
 

@@ -154,17 +154,20 @@ func (t *Table) Len() int { return len(t.flows) }
 // are flushed and returned before the new observation starts a fresh
 // record.
 func (t *Table) Add(rec Record) *Record {
+	metricObservations.Inc()
 	var flushed *Record
 	if cur, ok := t.flows[rec.Key]; ok {
 		if rec.End.Sub(cur.Start) > t.ActiveTimeout || rec.Start.Sub(cur.End) > t.IdleTimeout {
 			flushed = cur
 			delete(t.flows, rec.Key)
+			metricFlushes.Inc()
 		} else {
 			cur.Packets += rec.Packets
 			cur.Bytes += rec.Bytes
 			if rec.End.After(cur.End) {
 				cur.End = rec.End
 			}
+			metricMerges.Inc()
 			return nil
 		}
 	}
@@ -208,6 +211,7 @@ func (s *SourceSet) Add(a netip.Addr) bool {
 	}
 	if s.cap > 0 && len(s.set) >= s.cap {
 		s.overflow++
+		metricSourceOverflows.Inc()
 		return false
 	}
 	s.set[a] = struct{}{}

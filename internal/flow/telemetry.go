@@ -1,0 +1,24 @@
+package flow
+
+import "booterscope/internal/telemetry"
+
+// Package-level aggregates across every Table and SourceSet in the
+// process. Flow tables are created per vantage point and per test, so
+// (unlike the ipfix/classify components) the metrics are package-wide
+// sums rather than per-instance fields; registration is still opt-in
+// via RegisterTelemetry.
+var (
+	metricObservations    = telemetry.NewCounter()
+	metricMerges          = telemetry.NewCounter()
+	metricFlushes         = telemetry.NewCounter()
+	metricSourceOverflows = telemetry.NewCounter()
+)
+
+// RegisterTelemetry attaches the package's aggregate flow-cache
+// accounting to r under the flow_* names.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("flow_table_observations_total", "observations merged into flow tables", metricObservations)
+	r.MustRegister("flow_table_merges_total", "observations folded into an existing flow record", metricMerges)
+	r.MustRegister("flow_table_flushes_total", "expired flow records flushed from tables", metricFlushes)
+	r.MustRegister("flow_source_set_overflows_total", "source addresses rejected at a SourceSet capacity bound", metricSourceOverflows)
+}

@@ -16,6 +16,7 @@ import (
 
 	"booterscope/internal/flow"
 	"booterscope/internal/netutil"
+	"booterscope/internal/telemetry"
 )
 
 // Protocol constants.
@@ -215,12 +216,26 @@ func (st *domainState) remember(seq uint32) {
 	st.ringPos = (st.ringPos + 1) % dupRingSize
 }
 
+// decoderMetrics aggregate the per-domain sequence accounting across
+// all observation domains as registry-ready counters; the per-domain
+// DomainStats map remains the exact view, these are its scrapeable sum.
+type decoderMetrics struct {
+	messages       *telemetry.Counter
+	records        *telemetry.Counter
+	seqGapRecords  *telemetry.Counter
+	seqLateRecords *telemetry.Counter
+	duplicates     *telemetry.Counter
+	seqResets      *telemetry.Counter
+	unknownTplSets *telemetry.Counter
+}
+
 // Decoder parses IPFIX messages, keeping per-domain template state and
 // sequence-gap accounting.
 type Decoder struct {
 	mu        sync.Mutex
 	templates map[uint64][]fieldSpec
 	domains   map[uint32]*domainState
+	m         decoderMetrics
 }
 
 // NewDecoder returns an empty decoder.
@@ -228,7 +243,28 @@ func NewDecoder() *Decoder {
 	return &Decoder{
 		templates: make(map[uint64][]fieldSpec),
 		domains:   make(map[uint32]*domainState),
+		m: decoderMetrics{
+			messages:       telemetry.NewCounter(),
+			records:        telemetry.NewCounter(),
+			seqGapRecords:  telemetry.NewCounter(),
+			seqLateRecords: telemetry.NewCounter(),
+			duplicates:     telemetry.NewCounter(),
+			seqResets:      telemetry.NewCounter(),
+			unknownTplSets: telemetry.NewCounter(),
+		},
 	}
+}
+
+// registerTelemetry attaches the decoder's aggregate sequence counters
+// to r under the ipfix_decoder_* names.
+func (d *Decoder) registerTelemetry(r *telemetry.Registry) {
+	r.MustRegister("ipfix_decoder_messages_total", "parsed IPFIX messages (all domains)", d.m.messages)
+	r.MustRegister("ipfix_decoder_records_total", "decoded flow records (all domains)", d.m.records)
+	r.MustRegister("ipfix_decoder_seq_gap_records_total", "records jumped over by sequence gaps", d.m.seqGapRecords)
+	r.MustRegister("ipfix_decoder_seq_late_records_total", "reordered records arriving behind the expected sequence", d.m.seqLateRecords)
+	r.MustRegister("ipfix_decoder_duplicate_messages_total", "messages with recently seen sequence numbers", d.m.duplicates)
+	r.MustRegister("ipfix_decoder_seq_resets_total", "sequence jumps treated as exporter restarts", d.m.seqResets)
+	r.MustRegister("ipfix_decoder_unknown_template_sets_total", "data sets skipped for want of a template", d.m.unknownTplSets)
 }
 
 // DomainStats returns a snapshot of the per-observation-domain
@@ -320,9 +356,12 @@ func (d *Decoder) account(domain, seq uint32, n, unknownSets int) {
 	st := d.domain(domain)
 	st.stats.Messages++
 	st.stats.Records += uint64(n)
+	d.m.messages.Inc()
+	d.m.records.Add(uint64(n))
 	if unknownSets > 0 {
 		st.stats.UnknownTemplateSets += uint64(unknownSets)
 		st.stats.UnknownTemplateMessages++
+		d.m.unknownTplSets.Add(uint64(unknownSets))
 	}
 
 	switch {
@@ -339,17 +378,21 @@ func (d *Decoder) account(domain, seq uint32, n, unknownSets int) {
 			st.expected = seq + uint32(n)
 		case diff > 0 && diff < seqRestartThreshold:
 			st.stats.SeqGapRecords += uint64(diff)
+			d.m.seqGapRecords.Add(uint64(diff))
 			st.expected = seq + uint32(n)
 		case diff < 0 && diff > -seqRestartThreshold:
 			if st.sawRecently(seq) {
 				st.stats.DuplicateMessages++
+				d.m.duplicates.Inc()
 			} else {
 				// A reordered message arriving after its gap was
 				// charged: its records were not lost after all.
 				st.stats.SeqLateRecords += uint64(n)
+				d.m.seqLateRecords.Add(uint64(n))
 			}
 		default:
 			st.stats.SeqResets++
+			d.m.seqResets.Inc()
 			st.expected = seq + uint32(n)
 		}
 	}
@@ -432,4 +475,3 @@ func (d *Decoder) parseData(domain uint32, tid uint16, b []byte) ([]flow.Record,
 	}
 	return out, nil
 }
-

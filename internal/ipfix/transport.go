@@ -4,12 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"booterscope/internal/flow"
 	"booterscope/internal/netutil"
+	"booterscope/internal/telemetry"
 )
 
 // RetryPolicy bounds how hard an Exporter tries to deliver a message
@@ -30,6 +31,35 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// exporterMetrics are the exporter's delivery counters. They are plain
+// telemetry atomics owned by the instance; ExporterStats is a thin view
+// over them, and RegisterTelemetry attaches the same objects to a
+// registry so a scrape and Stats() can never disagree.
+type exporterMetrics struct {
+	messages *telemetry.Counter
+	records  *telemetry.Counter
+	retries  *telemetry.Counter
+	redials  *telemetry.Counter
+	failures *telemetry.Counter
+	// backoff records every computed retry delay in seconds; attempts
+	// counts retries by attempt number, so invisible-in-logs backoff
+	// timing (netutil.Backoff) becomes a scrapeable distribution.
+	backoff  *telemetry.Histogram
+	attempts *telemetry.CounterVec
+}
+
+func newExporterMetrics() exporterMetrics {
+	return exporterMetrics{
+		messages: telemetry.NewCounter(),
+		records:  telemetry.NewCounter(),
+		retries:  telemetry.NewCounter(),
+		redials:  telemetry.NewCounter(),
+		failures: telemetry.NewCounter(),
+		backoff:  telemetry.NewHistogram(),
+		attempts: telemetry.NewCounterVec("attempt").SetMaxCardinality(16),
+	}
+}
+
 // Exporter ships IPFIX messages to a collector over UDP, retrying
 // transient send errors with exponential backoff and re-dialing the
 // collector between attempts.
@@ -40,7 +70,7 @@ type Exporter struct {
 	enc   Encoder
 	retry RetryPolicy
 	sleep func(time.Duration)
-	stats ExporterStats
+	m     exporterMetrics
 }
 
 // NewExporter dials the collector at addr ("host:port").
@@ -63,7 +93,21 @@ func NewExporterConn(conn net.Conn, domainID uint32) *Exporter {
 		conn:  conn,
 		enc:   Encoder{DomainID: domainID},
 		sleep: time.Sleep,
+		m:     newExporterMetrics(),
 	}
+}
+
+// RegisterTelemetry attaches the exporter's delivery counters to r
+// under the ipfix_exporter_* names. Call once per process; registering
+// two exporters on one registry is a wiring bug and panics.
+func (e *Exporter) RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("ipfix_exporter_messages_total", "IPFIX messages delivered", e.m.messages)
+	r.MustRegister("ipfix_exporter_records_total", "flow records delivered", e.m.records)
+	r.MustRegister("ipfix_exporter_retries_total", "send attempts after transient errors", e.m.retries)
+	r.MustRegister("ipfix_exporter_redials_total", "socket replacements while retrying", e.m.redials)
+	r.MustRegister("ipfix_exporter_failures_total", "messages abandoned after all attempts", e.m.failures)
+	r.MustRegister("ipfix_exporter_backoff_seconds", "computed retry backoff delays", e.m.backoff)
+	r.MustRegister("ipfix_exporter_retry_attempts_total", "retries by attempt number", e.m.attempts)
 }
 
 // SetRetry replaces the exporter's retry policy.
@@ -91,11 +135,16 @@ func (e *Exporter) ResendTemplate() {
 	e.enc.ForceTemplate()
 }
 
-// Stats returns a snapshot of the exporter's delivery accounting.
+// Stats returns a snapshot of the exporter's delivery accounting — a
+// view over the same telemetry counters RegisterTelemetry exposes.
 func (e *Exporter) Stats() ExporterStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return ExporterStats{
+		Messages: e.m.messages.Value(),
+		Records:  e.m.records.Value(),
+		Retries:  e.m.retries.Value(),
+		Redials:  e.m.redials.Value(),
+		Failures: e.m.failures.Value(),
+	}
 }
 
 // Export encodes and sends one message, retrying per the retry policy.
@@ -113,19 +162,25 @@ func (e *Exporter) Export(records []flow.Record, exportTime time.Time) error {
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			e.stats.Retries++
-			e.sleep(e.retry.Backoff.Delay(a - 1))
+			// Each retry's computed backoff delay and attempt number go
+			// through the telemetry registry: retry timing is a
+			// distribution, not an invisible sleep.
+			delay := e.retry.Backoff.Delay(a - 1)
+			e.m.retries.Inc()
+			e.m.backoff.ObserveDuration(delay)
+			e.m.attempts.With(strconv.Itoa(a)).Inc()
+			e.sleep(delay)
 			e.redial()
 		}
 		if _, err := e.conn.Write(msg); err != nil {
 			lastErr = err
 			continue
 		}
-		e.stats.Messages++
-		e.stats.Records += uint64(len(records))
+		e.m.messages.Inc()
+		e.m.records.Add(uint64(len(records)))
 		return nil
 	}
-	e.stats.Failures++
+	e.m.failures.Inc()
 	// The lost message may have carried the template; re-send it with
 	// the next message so the collector is never stranded undecodable.
 	e.enc.ForceTemplate()
@@ -145,7 +200,7 @@ func (e *Exporter) redial() {
 	}
 	e.conn.Close()
 	e.conn = nc
-	e.stats.Redials++
+	e.m.redials.Inc()
 	e.enc.ForceTemplate()
 }
 
@@ -173,12 +228,15 @@ type Collector struct {
 	// the decode worker (default DefaultQueueSize). Set before Run.
 	QueueSize int
 
-	messages     atomic.Uint64
-	bytes        atomic.Uint64
-	shed         atomic.Uint64
-	decodeErrors atomic.Uint64
-	noTemplate   atomic.Uint64
-	records      atomic.Uint64
+	messages     *telemetry.Counter
+	bytes        *telemetry.Counter
+	shed         *telemetry.Counter
+	decodeErrors *telemetry.Counter
+	noTemplate   *telemetry.Counter
+	records      *telemetry.Counter
+	// queueHigh is the ingest queue's depth high-watermark: how close
+	// the collector came to shedding since start.
+	queueHigh *telemetry.Gauge
 
 	mu     sync.Mutex
 	closed bool
@@ -190,7 +248,31 @@ func NewCollector(addr string) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipfix: listening: %w", err)
 	}
-	return &Collector{conn: conn, dec: NewDecoder()}, nil
+	return &Collector{
+		conn:         conn,
+		dec:          NewDecoder(),
+		messages:     telemetry.NewCounter(),
+		bytes:        telemetry.NewCounter(),
+		shed:         telemetry.NewCounter(),
+		decodeErrors: telemetry.NewCounter(),
+		noTemplate:   telemetry.NewCounter(),
+		records:      telemetry.NewCounter(),
+		queueHigh:    telemetry.NewGauge(),
+	}, nil
+}
+
+// RegisterTelemetry attaches the collector's accounting — socket,
+// queue, decode, and the decoder's aggregate sequence counters — to r
+// under the ipfix_collector_* and ipfix_decoder_* names.
+func (c *Collector) RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("ipfix_collector_messages_total", "datagrams read off the socket", c.messages)
+	r.MustRegister("ipfix_collector_bytes_total", "bytes read off the socket", c.bytes)
+	r.MustRegister("ipfix_collector_shed_total", "datagrams dropped at the full ingest queue", c.shed)
+	r.MustRegister("ipfix_collector_decode_errors_total", "undecodable messages", c.decodeErrors)
+	r.MustRegister("ipfix_collector_no_template_total", "messages dropped for want of a template", c.noTemplate)
+	r.MustRegister("ipfix_collector_records_total", "flow records handed to the run callback", c.records)
+	r.MustRegister("ipfix_collector_queue_depth_high_watermark", "peak ingest queue depth", c.queueHigh)
+	c.dec.registerTelemetry(r)
 }
 
 // Addr reports the collector's bound address.
@@ -200,12 +282,12 @@ func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 // the decoder's per-observation-domain sequence and template state.
 func (c *Collector) Stats() CollectorStats {
 	return CollectorStats{
-		Messages:     c.messages.Load(),
-		Bytes:        c.bytes.Load(),
-		Shed:         c.shed.Load(),
-		DecodeErrors: c.decodeErrors.Load(),
-		NoTemplate:   c.noTemplate.Load(),
-		Records:      c.records.Load(),
+		Messages:     c.messages.Value(),
+		Bytes:        c.bytes.Value(),
+		Shed:         c.shed.Value(),
+		DecodeErrors: c.decodeErrors.Value(),
+		NoTemplate:   c.noTemplate.Value(),
+		Records:      c.records.Value(),
 		Domains:      c.dec.DomainStats(),
 	}
 }
@@ -240,9 +322,9 @@ func (c *Collector) Run(handle func([]flow.Record)) error {
 			recs, err := c.dec.Decode(msg)
 			if err != nil {
 				if errors.Is(err, ErrNoTemplate) {
-					c.noTemplate.Add(1)
+					c.noTemplate.Inc()
 				} else {
-					c.decodeErrors.Add(1)
+					c.decodeErrors.Inc()
 				}
 				continue
 			}
@@ -266,14 +348,15 @@ func (c *Collector) Run(handle func([]flow.Record)) error {
 			}
 			break
 		}
-		c.messages.Add(1)
+		c.messages.Inc()
 		c.bytes.Add(uint64(n))
 		msg := make([]byte, n)
 		copy(msg, buf[:n])
 		select {
 		case queue <- msg:
+			c.queueHigh.SetMax(float64(len(queue)))
 		default:
-			c.shed.Add(1) // load-shed: never block the socket reader
+			c.shed.Inc() // load-shed: never block the socket reader
 		}
 	}
 	close(queue)

@@ -418,6 +418,14 @@ func (f *Fabric) DeliverTo(dst netip.Addr, sources []SourceTraffic) (*Handover, 
 		f.meas.transit.Tick(h.Utilization)
 		h.TransitFlapped = before == bgp.StateEstablished && f.meas.transit.State() == bgp.StateIdle
 	}
+	metricTransitBytes.Add(h.ViaTransitBytes)
+	metricPeeringBytes.Add(h.PeeringBytesTotal())
+	metricUnreachableBytes.Add(h.UnreachableBytes)
+	metricDroppedBytes.Add(h.DroppedBytes)
+	metricFlowSpecBytes.Add(h.FlowSpecFilteredBytes)
+	if h.TransitFlapped {
+		metricTransitFlaps.Inc()
+	}
 	return h, nil
 }
 
@@ -471,6 +479,7 @@ func (f *Fabric) PlatformExport(h *Handover, dst netip.Addr, dstPort uint16, ts 
 			SamplingRate: rate,
 		})
 	}
+	metricExportRecords.Add(uint64(len(out)))
 	return out
 }
 
@@ -533,5 +542,6 @@ func (f *Fabric) PlatformExportSFlow(h *Handover, dst netip.Addr, srcPort uint16
 			})
 		}
 	}
+	metricExportSamples.Add(uint64(len(out)))
 	return out
 }

@@ -1,0 +1,97 @@
+// Package debugserver is the shared live-debug surface of every
+// booterscope binary: pass -debug.addr (e.g. 127.0.0.1:6060) and the
+// process serves its telemetry registry as Prometheus text on /metrics,
+// as JSON on /metrics.json, recent pipeline spans on /spans, and the
+// full net/http/pprof suite under /debug/pprof/. Without the flag
+// nothing is started, so the default remains zero overhead.
+package debugserver
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"booterscope/internal/telemetry"
+)
+
+// AddrFlag registers the conventional -debug.addr flag on the default
+// flag set and returns the destination string. Every cmd binary calls
+// this before flag.Parse.
+func AddrFlag() *string {
+	return flag.String("debug.addr", "",
+		"serve /metrics, /metrics.json, /spans and /debug/pprof on this address (empty: disabled)")
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the debug mux over reg — exposed separately so tests
+// can drive it without a socket.
+func Handler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.PrometheusHandler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Tracer().Recent())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "booterscope debug surface\n\n"+
+			"/metrics       Prometheus text format\n"+
+			"/metrics.json  snapshot as JSON\n"+
+			"/spans         recent pipeline spans\n"+
+			"/healthz       liveness\n"+
+			"/debug/pprof/  Go profiling\n")
+	})
+	return mux
+}
+
+// Start serves the debug surface for reg on addr. An empty addr is a
+// no-op returning (nil, nil), so call sites stay one line:
+//
+//	dbg, err := debugserver.Start(*addr, telemetry.Default())
+func Start(addr string, reg *telemetry.Registry) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserver: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

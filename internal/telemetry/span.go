@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSpanRing is how many finished spans a Tracer retains.
+const DefaultSpanRing = 128
+
+// SpanRecord is one finished pipeline stage execution.
+type SpanRecord struct {
+	Stage    string        `json:"stage"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Tracer records pipeline stage executions: each Start/End pair feeds a
+// per-stage duration histogram and error counter in the owning
+// registry, and the most recent spans are kept in a ring buffer for the
+// /spans debug endpoint. Stage names must follow the metric naming
+// charset ([a-z0-9_]) because they are embedded in metric names.
+type Tracer struct {
+	reg *Registry
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	pos  int
+	n    int
+}
+
+// Tracer returns the registry's span tracer, creating it on first use.
+func (r *Registry) Tracer() *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tracer == nil {
+		r.tracer = &Tracer{reg: r, ring: make([]SpanRecord, DefaultSpanRing)}
+	}
+	return r.tracer
+}
+
+// Span is an in-flight pipeline stage; finish it with End.
+type Span struct {
+	tr    *Tracer
+	stage string
+	start time.Time
+}
+
+// Start opens a span for one execution of the named stage.
+func (t *Tracer) Start(stage string) *Span {
+	return &Span{tr: t, stage: stage, start: time.Now()}
+}
+
+// End finishes the span, tagging it with err (nil for success). The
+// duration lands in pipeline_stage_<stage>_seconds and errors in
+// pipeline_stage_<stage>_errors_total.
+func (s *Span) End(err error) {
+	d := time.Since(s.start)
+	rec := SpanRecord{Stage: s.stage, Start: s.start, Duration: d}
+	if err != nil {
+		rec.Err = err.Error()
+		s.tr.reg.Counter("pipeline_stage_"+s.stage+"_errors_total",
+			"errors finishing pipeline stage "+s.stage).Inc()
+	}
+	s.tr.reg.Histogram("pipeline_stage_"+s.stage+"_seconds",
+		"duration of pipeline stage "+s.stage).ObserveDuration(d)
+
+	s.tr.mu.Lock()
+	s.tr.ring[s.tr.pos] = rec
+	s.tr.pos = (s.tr.pos + 1) % len(s.tr.ring)
+	if s.tr.n < len(s.tr.ring) {
+		s.tr.n++
+	}
+	s.tr.mu.Unlock()
+}
+
+// Do runs fn as one span of the named stage, propagating its error.
+func (t *Tracer) Do(stage string, fn func() error) error {
+	sp := t.Start(stage)
+	err := fn()
+	sp.End(err)
+	return err
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	start := (t.pos - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# lint-telemetry.sh fails when a package defines bespoke stats
+# accessors without exposing them through the telemetry registry.
+#
+# Rule: any package under internal/ with a Stats(), Health(), or
+# Ledger() accessor method must also define RegisterTelemetry (method
+# or function) so its accounting is scrapeable, not just printable.
+# Packages listed in EXEMPT carry value-type accounting with no live
+# component to register (e.g. per-day simulation outputs).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+EXEMPT="internal/telemetry"
+
+fail=0
+for dir in internal/*/; do
+    dir=${dir%/}
+    case " $EXEMPT " in
+    *" $dir "*) continue ;;
+    esac
+    # Accessor methods only (receiver present), ignoring _test.go files.
+    has_stats=$(grep -l -E 'func \([a-zA-Z0-9_ *]+\) (Stats|Health|Ledger)\(\)' "$dir"/*.go 2>/dev/null | grep -v _test || true)
+    [ -z "$has_stats" ] && continue
+    if ! grep -q 'func.*RegisterTelemetry' "$dir"/*.go 2>/dev/null; then
+        echo "lint-telemetry: $dir defines Stats()/Health()/Ledger() but no RegisterTelemetry" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint-telemetry: bespoke stats structs must be views over registry metrics (see DESIGN.md §6)" >&2
+    exit 1
+fi
+echo "lint-telemetry: ok"
