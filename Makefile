@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint demo demo-lossy
+.PHONY: build test check race lint crash-recovery demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis, lint, plus the full
-# suite under the race detector.
-check: lint
+# check is the pre-merge gate: static analysis, lint, the flow-archive
+# crash-recovery scenario, plus the full suite under the race detector.
+check: lint crash-recovery
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# crash-recovery replays the torn-segment scenario end to end: injected
+# write faults, a manually torn tail, and a reopen that must adopt every
+# intact record with exact accounting (-count=1 defeats the test cache
+# so the gate always exercises the filesystem).
+crash-recovery:
+	$(GO) test ./internal/flowstore -run 'TestCrashRecovery|TestDeterministicLayout' -count=1
 
 # lint enforces formatting and the telemetry-registration rule: a
 # package with bespoke Stats()/Health()/Ledger() accessors must expose

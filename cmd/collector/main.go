@@ -28,6 +28,7 @@ import (
 	"booterscope/internal/classify"
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
 	"booterscope/internal/ipfix"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
@@ -46,6 +47,7 @@ func main() {
 		reorder   = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
 		chaosSeed = flag.Uint64("chaosseed", 7, "fault injection seed")
 		dashEvery = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
+		storeDir  = flag.String("store.dir", "", "persist decoded flow records into a flowstore archive at this directory")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -61,6 +63,22 @@ func main() {
 	col.RegisterTelemetry(reg)
 	monitor := classify.NewMonitor(classify.Config{})
 	monitor.RegisterTelemetry(reg)
+
+	var store *flowstore.Store
+	if *storeDir != "" {
+		flowstore.RegisterTelemetry(reg)
+		store, err = flowstore.Open(*storeDir, flowstore.Options{
+			Meta: map[string]string{"study": "collector", "listen": *listen},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r := store.Recovery(); r.RecoveredSegments > 0 || r.TornSegments > 0 {
+			fmt.Printf("store recovery: %d segments adopted (%d records), %d torn tails truncated (%d bytes)\n",
+				r.RecoveredSegments, r.RecoveredRecords, r.TornSegments, r.TruncatedBytes)
+		}
+		fmt.Printf("archiving decoded records to %s\n", *storeDir)
+	}
 
 	srv, err := debugserver.Start(*debugAddr, reg)
 	if err != nil {
@@ -82,6 +100,13 @@ func main() {
 		defer close(done)
 		err := col.Run(func(recs []flow.Record) {
 			records.Add(int64(len(recs)))
+			if store != nil {
+				// Append failures are accounted in the store ledger
+				// (RecordsDropped) — degraded archiving is never silent.
+				if err := store.Append(recs); err != nil {
+					log.Printf("store append: %v", err)
+				}
+			}
 			for i := range recs {
 				if a := monitor.Add(&recs[i]); a != nil {
 					alerts.Add(1)
@@ -139,6 +164,7 @@ func main() {
 			}
 		}
 		report(col, monitor)
+		closeStore(store, *storeDir)
 		if exitCode != 0 {
 			os.Exit(exitCode)
 		}
@@ -153,6 +179,22 @@ func main() {
 	fmt.Printf("shutting down: %d records collected, %d alerts raised\n",
 		records.Load(), alerts.Load())
 	report(col, monitor)
+	closeStore(store, *storeDir)
+}
+
+// closeStore seals the archive (if one was requested) and prints its
+// final ledger — the accounting a replay consumer checks against the
+// collector's own loss report.
+func closeStore(store *flowstore.Store, dir string) {
+	if store == nil {
+		return
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("sealing store: %v", err)
+	}
+	s := store.Stats()
+	fmt.Printf("store %s: %d records appended, %d durable, %d dropped, %d segments, %d bytes\n",
+		dir, s.RecordsAppended, s.RecordsDurable, s.RecordsDropped, s.SegmentsSealed, s.BytesWritten)
 }
 
 // drain waits until the record counter has been stable for several

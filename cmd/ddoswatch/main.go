@@ -2,6 +2,10 @@
 // the synthetic inter-domain traffic of the three vantage points through
 // the NTP amplification classifier and prints the data behind Figures
 // 2(a), 2(b), and 2(c).
+//
+// With -store.dir it replays a flowstore archive written by flowgen
+// -out instead of regenerating the traffic — same results, since the
+// classifier is order-insensitive and the archive codec is lossless.
 package main
 
 import (
@@ -11,24 +15,28 @@ import (
 
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
+	"booterscope/internal/trafficgen"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ddoswatch: ")
 	var (
-		seed  = flag.Uint64("seed", 1, "random seed")
-		scale = flag.Float64("scale", 0.5, "traffic scale factor")
-		days  = flag.Int("days", 30, "days of traffic to analyze")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 0.5, "traffic scale factor")
+		days     = flag.Int("days", 30, "days of traffic to analyze")
+		storeDir = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
 
 	reg := telemetry.Default()
 	flow.RegisterTelemetry(reg)
+	flowstore.RegisterTelemetry(reg)
 	srv, err := debugserver.Start(*debugAddr, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -38,15 +46,41 @@ func main() {
 		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
 	}
 
-	study := core.NewLandscapeStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
+	var (
+		dist     *core.PacketSizeDistribution
+		vantages []*core.VantageVictims
+	)
+	if *storeDir != "" {
+		replay, err := core.OpenReplay(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer replay.Close()
+		fmt.Printf("replaying %d-day archive %s\n", replay.Window().Days, *storeDir)
+		if replay.Store(trafficgen.KindIXP) != nil {
+			if dist, err = replay.Figure2a(); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Println("archive has no IXP store; skipping Figure 2(a)")
+		}
+		if vantages, err = replay.AllVantages(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		study := core.NewLandscapeStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
+		dist = study.Figure2a()
+		vantages = study.AllVantages()
+	}
 
-	fig2a(study)
-	fig2bc(study)
+	if dist != nil {
+		fig2a(dist)
+	}
+	fig2bc(vantages)
 }
 
-func fig2a(study *core.LandscapeStudy) {
+func fig2a(dist *core.PacketSizeDistribution) {
 	fmt.Println("== Figure 2(a): CDF/PDF of NTP packet sizes at the IXP ==")
-	dist := study.Figure2a()
 	fmt.Printf("fraction of NTP packets below 200 bytes: %.1f%% (paper: 54%%)\n", dist.FractionBelow200*100)
 	pdf := dist.Histogram.PDF()
 	centers := make([]float64, len(pdf))
@@ -57,9 +91,9 @@ func fig2a(study *core.LandscapeStudy) {
 	fmt.Println()
 }
 
-func fig2bc(study *core.LandscapeStudy) {
+func fig2bc(vantages []*core.VantageVictims) {
 	fmt.Println("== Figures 2(b)/(c): NTP amplification victims per vantage point ==")
-	for _, v := range study.AllVantages() {
+	for _, v := range vantages {
 		fmt.Printf("\n-- %v --\n", v.Vantage)
 		fmt.Printf("destinations receiving amplified NTP: %d\n", len(v.Victims))
 		fmt.Printf("max observed per-victim rate: %.1f Gbps\n", v.MaxGbps())

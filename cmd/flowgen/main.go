@@ -1,7 +1,13 @@
-// Command flowgen exports synthetic vantage-point traffic as real
-// NetFlow v5, NetFlow v9, or IPFIX export packets — one length-prefixed
-// export packet per line-record in the output file — so downstream
-// collectors can be tested against booterscope's workloads.
+// Command flowgen exports synthetic vantage-point traffic. Two modes:
+//
+//   - packet export (default): real NetFlow v5, NetFlow v9, or IPFIX
+//     export packets — one length-prefixed export packet per line-record
+//     in the output file — so downstream collectors can be tested
+//     against booterscope's workloads;
+//   - archive export (-out <dir>): a columnar flowstore archive of the
+//     full study window, one sharded store per vantage point, that
+//     cmd/takedown and cmd/ddoswatch replay with -store.dir instead of
+//     regenerating the traffic.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
 	"booterscope/internal/ipfix"
 	"booterscope/internal/netflow"
 	"booterscope/internal/telemetry"
@@ -27,16 +34,20 @@ func main() {
 	var (
 		seed    = flag.Uint64("seed", 1, "random seed")
 		scale   = flag.Float64("scale", 0.2, "traffic scale factor")
-		day     = flag.Int("day", 0, "scenario day to export")
-		vantage = flag.String("vantage", "tier2", "vantage point: ixp, tier1, tier2")
+		day     = flag.Int("day", 0, "scenario day to export (packet mode)")
+		days    = flag.Int("days", 122, "days of traffic to archive (-out mode)")
+		vantage = flag.String("vantage", "tier2", "vantage point: ixp, tier1, tier2, or all (-out mode only)")
 		format  = flag.String("format", "ipfix", "export format: v5, v9, ipfix")
-		out     = flag.String("o", "flows.bin", "output file")
+		out     = flag.String("o", "flows.bin", "output file (packet mode)")
+		outDir  = flag.String("out", "", "write a flowstore archive to this directory instead of export packets")
+		shards  = flag.Int("store.shards", flowstore.DefaultShards, "archive shard count (-out mode)")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
 
 	reg := telemetry.Default()
 	flow.RegisterTelemetry(reg)
+	flowstore.RegisterTelemetry(reg)
 	srv, err := debugserver.Start(*debugAddr, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -54,8 +65,17 @@ func main() {
 		kind = trafficgen.KindTier1
 	case "tier2":
 		kind = trafficgen.KindTier2
+	case "all":
+		if *outDir == "" {
+			log.Fatal("-vantage all requires -out (packet export is single-vantage)")
+		}
 	default:
 		log.Fatalf("unknown vantage %q", *vantage)
+	}
+
+	if *outDir != "" {
+		writeArchive(*outDir, *seed, *scale, *days, *shards, *vantage, kind)
+		return
 	}
 
 	scenario := trafficgen.NewScenario(trafficgen.Config{
@@ -147,6 +167,40 @@ func main() {
 	}
 	fmt.Printf("wrote %d %s export packets carrying %d flow records (%v, day %d) to %s\n",
 		packets, *format, len(records), kind, *day, *out)
+}
+
+// writeArchive generates the takedown study window and persists it as a
+// flowstore archive — phase one of the two-phase generate-then-analyse
+// workflow (cmd/takedown -store.dir replays phase two).
+func writeArchive(dir string, seed uint64, scale float64, days, shards int, vantage string, kind trafficgen.Kind) {
+	study := core.NewTakedownStudy(core.Options{Seed: seed, Scale: scale, Days: days})
+	var kinds []trafficgen.Kind
+	if vantage != "all" {
+		kinds = []trafficgen.Kind{kind}
+	}
+	opts := flowstore.Options{Shards: shards}
+	if err := study.WriteArchive(dir, opts, kinds...); err != nil {
+		log.Fatal(err)
+	}
+
+	replay, err := core.OpenReplay(dir)
+	if err != nil {
+		log.Fatalf("verifying archive: %v", err)
+	}
+	defer replay.Close()
+	fmt.Printf("archived %d days (seed %d, scale %g) to %s\n", days, seed, scale, dir)
+	for _, k := range replay.Kinds() {
+		st := replay.Store(k)
+		var records, bytes uint64
+		segs := st.Segments()
+		for _, e := range segs {
+			records += e.Records
+			bytes += e.Bytes
+		}
+		fmt.Printf("  %-8s %9d records in %3d segments, %.1f MiB\n",
+			core.KindSlug(k), records, len(segs), float64(bytes)/(1<<20))
+	}
+	fmt.Printf("replay with: takedown -store.dir %s\n", dir)
 }
 
 // clampCounters bounds NetFlow v5's 32-bit counters (v9/IPFIX carry 64

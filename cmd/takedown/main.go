@@ -1,6 +1,11 @@
 // Command takedown runs the Section 5.2 analysis of the FBI booter
 // seizure: daily packet series toward DDoS reflectors with Welch tests
 // (Figure 4) and hourly counts of systems under NTP attack (Figure 5).
+//
+// Two modes: live generation (default, driven by -seed/-scale/-days) or
+// replay from a flowstore archive written by flowgen -out. Replay is
+// exact — the analyses are order-insensitive and the archive codec is
+// lossless, so both modes print identical results for the same seed.
 package main
 
 import (
@@ -8,9 +13,12 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
+	"booterscope/internal/takedown"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
@@ -21,15 +29,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("takedown: ")
 	var (
-		seed  = flag.Uint64("seed", 1, "random seed")
-		scale = flag.Float64("scale", 0.5, "traffic scale factor")
-		days  = flag.Int("days", 122, "days of traffic (122 spans the seizure ±~60 days)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 0.5, "traffic scale factor")
+		days     = flag.Int("days", 122, "days of traffic (122 spans the seizure ±~60 days)")
+		storeDir = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
 
 	reg := telemetry.Default()
 	flow.RegisterTelemetry(reg)
+	flowstore.RegisterTelemetry(reg)
 	srv, err := debugserver.Start(*debugAddr, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -39,16 +49,66 @@ func main() {
 		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
 	}
 
-	study := core.NewTakedownStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
+	var (
+		event    takedown.Event
+		kinds    []trafficgen.Kind
+		fig4     map[trafficgen.Kind][]takedown.Figure4Panel
+		fig5For  func(trafficgen.Kind) (*takedown.Figure5Result, error)
+		fig5Kind trafficgen.Kind
+	)
+	if *storeDir != "" {
+		replay, err := core.OpenReplay(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer replay.Close()
+		event = replay.Event
+		kinds = replay.Kinds()
+		w := replay.Window()
+		fmt.Printf("replaying %d-day archive %s (vantages: %s)\n\n",
+			w.Days, *storeDir, kindList(kinds))
+		fig4, err = replay.Figure4All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig5For = replay.Figure5
+	} else {
+		study := core.NewTakedownStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
+		event = study.Event
+		kinds = []trafficgen.Kind{trafficgen.KindIXP, trafficgen.KindTier1, trafficgen.KindTier2}
+		fig4, err = study.Figure4All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig5For = study.Figure5
+	}
+	// Figure 5 uses the IXP perspective when present (the paper's), else
+	// the first archived vantage.
+	fig5Kind = kinds[0]
+	for _, k := range kinds {
+		if k == trafficgen.KindIXP {
+			fig5Kind = k
+			break
+		}
+	}
+
 	fmt.Printf("takedown event: %s, %d booter domains seized\n\n",
-		study.Event.Date.Format("2006-01-02"), study.Event.SeizedDomains)
+		event.Date.Format("2006-01-02"), event.SeizedDomains)
 
 	fmt.Println("== Figure 4: daily packets toward DDoS reflectors ==")
-	all, err := study.Figure4All()
+	renderFigure4(fig4, kinds, event.Date)
+
+	fmt.Printf("\n== Figure 5: systems under NTP DDoS attack per hour (%v) ==\n", fig5Kind)
+	fig5, err := fig5For(fig5Kind)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, k := range []trafficgen.Kind{trafficgen.KindIXP, trafficgen.KindTier1, trafficgen.KindTier2} {
+	renderFigure5(fig5)
+}
+
+// renderFigure4 prints every vantage's reflector panels.
+func renderFigure4(all map[trafficgen.Kind][]takedown.Figure4Panel, kinds []trafficgen.Kind, eventDate time.Time) {
+	for _, k := range kinds {
 		fmt.Printf("\n-- %v perspective --\n", k)
 		for _, p := range all[k] {
 			fmt.Printf("packets %v dst port:\n", p.Vector)
@@ -56,7 +116,7 @@ func main() {
 			eventIdx := -1
 			for i, pt := range p.Daily {
 				values[i] = pt.Value
-				if eventIdx < 0 && !pt.Time.Before(study.Event.Date) {
+				if eventIdx < 0 && !pt.Time.Before(eventDate) {
 					eventIdx = i
 				}
 			}
@@ -67,12 +127,10 @@ func main() {
 				p.Metrics.WT40.Significant, p.Metrics.WT40.Reduction*100)
 		}
 	}
+}
 
-	fmt.Println("\n== Figure 5: systems under NTP DDoS attack per hour (IXP) ==")
-	fig5, err := study.Figure5(trafficgen.KindIXP)
-	if err != nil {
-		log.Fatal(err)
-	}
+// renderFigure5 prints the systems-under-attack series and verdicts.
+func renderFigure5(fig5 *takedown.Figure5Result) {
 	maxCount := 0
 	hourly := make([]float64, len(fig5.Hourly))
 	eventIdx := -1
@@ -81,7 +139,7 @@ func main() {
 		if hp.Count > maxCount {
 			maxCount = hp.Count
 		}
-		if eventIdx < 0 && !hp.Hour.Before(study.Event.Date) {
+		if eventIdx < 0 && !hp.Hour.Before(takedown.FBITakedown.Date) {
 			eventIdx = i
 		}
 	}
@@ -93,6 +151,15 @@ func main() {
 	if !fig5.Metrics.WT30.Significant && !fig5.Metrics.WT40.Significant {
 		fmt.Println("=> no significant reduction in systems attacked (the paper's headline result)")
 	}
+}
+
+// kindList renders vantage names comma-separated.
+func kindList(kinds []trafficgen.Kind) string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = fmt.Sprint(k)
+	}
+	return strings.Join(names, ", ")
 }
 
 // indent prefixes every line with two spaces.

@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFailpointExactIndexes(t *testing.T) {
+	fp := NewFailpoint(1, 3)
+	var errs []bool
+	for i := 0; i < 5; i++ {
+		errs = append(errs, fp.Check("op") != nil)
+	}
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("op %d: fired=%v, want %v", i, errs[i], want[i])
+		}
+	}
+	if fp.Ops() != 5 || fp.Injected() != 2 {
+		t.Fatalf("ops=%d injected=%d, want 5/2", fp.Ops(), fp.Injected())
+	}
+}
+
+func TestFailpointFailFrom(t *testing.T) {
+	fp := FailFrom(2)
+	for i := 0; i < 6; i++ {
+		err := fp.Check("w")
+		if (err != nil) != (i >= 2) {
+			t.Fatalf("op %d: err=%v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: error does not wrap ErrInjected: %v", i, err)
+		}
+	}
+	if fp.Injected() != 4 {
+		t.Fatalf("injected=%d, want 4", fp.Injected())
+	}
+}
+
+func TestFailpointNilSafe(t *testing.T) {
+	var fp *Failpoint
+	if err := fp.Check("noop"); err != nil {
+		t.Fatalf("nil failpoint fired: %v", err)
+	}
+	if fp.Ops() != 0 || fp.Injected() != 0 {
+		t.Fatal("nil failpoint counted operations")
+	}
+}

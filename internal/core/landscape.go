@@ -2,7 +2,9 @@ package core
 
 import (
 	"booterscope/internal/classify"
+	"booterscope/internal/flow"
 	"booterscope/internal/stats"
+	"booterscope/internal/takedown"
 	"booterscope/internal/trafficgen"
 )
 
@@ -32,6 +34,23 @@ func NewLandscapeStudy(opts Options) *LandscapeStudy {
 	}
 }
 
+// source streams one vantage point's records over the study's window —
+// the landscape analogue of takedown.ScenarioSource, bounded by
+// WindowDays instead of the scenario length.
+func (l *LandscapeStudy) source(k trafficgen.Kind) takedown.Source {
+	return func(fn func(*flow.Record) error) error {
+		for day := 0; day < l.WindowDays; day++ {
+			for _, rec := range l.Scenario.Day(k, day) {
+				rec := rec
+				if err := fn(&rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
 // PacketSizeDistribution is the Figure 2(a) data: the NTP packet size
 // histogram at the IXP with its below-200-byte share.
 type PacketSizeDistribution struct {
@@ -42,24 +61,34 @@ type PacketSizeDistribution struct {
 
 // Figure2a builds the NTP packet size distribution from the IXP view.
 func (l *LandscapeStudy) Figure2a() *PacketSizeDistribution {
+	d, _ := figure2aSource(l.source(trafficgen.KindIXP)) // live source never errors
+	return d
+}
+
+// figure2aSource accumulates the packet size distribution from any
+// record stream — live generation or a flowstore replay. Histogram adds
+// are commutative, so the result is independent of record order.
+func figure2aSource(src takedown.Source) (*PacketSizeDistribution, error) {
 	h := stats.NewHistogram(0, 1500, 75) // 20-byte bins
-	for day := 0; day < l.WindowDays; day++ {
-		for _, rec := range l.Scenario.Day(trafficgen.KindIXP, day) {
-			if rec.SrcPort != classify.NTPPort && rec.DstPort != classify.NTPPort {
-				continue
-			}
-			size := rec.AvgPacketSize()
-			for i := uint64(0); i < rec.ScaledPackets(); i += 10000 {
-				// Add in sampled strides to bound cost; the histogram
-				// is a distribution, absolute counts do not matter.
-				h.Add(size)
-			}
+	err := src(func(rec *flow.Record) error {
+		if rec.SrcPort != classify.NTPPort && rec.DstPort != classify.NTPPort {
+			return nil
 		}
+		size := rec.AvgPacketSize()
+		for i := uint64(0); i < rec.ScaledPackets(); i += 10000 {
+			// Add in sampled strides to bound cost; the histogram
+			// is a distribution, absolute counts do not matter.
+			h.Add(size)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &PacketSizeDistribution{
 		Histogram:        h,
 		FractionBelow200: h.FractionBelow(classify.OptimisticSizeThreshold),
-	}
+	}, nil
 }
 
 // VantageVictims is the Figure 2(b)/(c) data for one vantage point.
@@ -87,12 +116,21 @@ func (v *VantageVictims) MaxGbps() float64 {
 
 // Figure2bc classifies NTP amplification victims at one vantage point.
 func (l *LandscapeStudy) Figure2bc(k trafficgen.Kind) *VantageVictims {
+	v, _ := figure2bcSource(l.source(k), k) // live source never errors
+	return v
+}
+
+// figure2bcSource classifies victims from any record stream. The
+// classifier is built on per-destination maps of minute maxima and the
+// victim sort breaks ties by address, so any delivery order over the
+// same record multiset yields identical results.
+func figure2bcSource(src takedown.Source, k trafficgen.Kind) (*VantageVictims, error) {
 	c := classify.New(classify.Config{})
-	for day := 0; day < l.WindowDays; day++ {
-		for _, rec := range l.Scenario.Day(k, day) {
-			rec := rec
-			c.Add(&rec)
-		}
+	if err := src(func(rec *flow.Record) error {
+		c.Add(rec)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	victims := c.Victims()
 	sources := make([]float64, len(victims))
@@ -107,7 +145,7 @@ func (l *LandscapeStudy) Figure2bc(k trafficgen.Kind) *VantageVictims {
 		Filter:     c.FilterStats(),
 		SourcesCDF: stats.NewECDF(sources),
 		RateCDF:    stats.NewECDF(rates),
-	}
+	}, nil
 }
 
 // AllVantages runs Figure2bc for the three vantage points.

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
+	"booterscope/internal/packet"
+	"booterscope/internal/takedown"
+	"booterscope/internal/trafficgen"
+)
+
+// Archive layout: one flowstore per vantage point under
+// <dir>/<vantage-slug>/, each manifest carrying the generation
+// parameters in its Meta so replay can reconstruct the analysis window
+// without the generator.
+
+// archiveKinds orders the vantage points and their directory slugs.
+var archiveKinds = []struct {
+	Kind trafficgen.Kind
+	Slug string
+}{
+	{trafficgen.KindIXP, "ixp"},
+	{trafficgen.KindTier1, "tier1"},
+	{trafficgen.KindTier2, "tier2"},
+}
+
+// KindSlug returns the archive directory name of a vantage point.
+func KindSlug(k trafficgen.Kind) string {
+	for _, ak := range archiveKinds {
+		if ak.Kind == k {
+			return ak.Slug
+		}
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// WriteArchive generates the study's traffic for the given vantage
+// points (all three when none are named) and writes one flowstore per
+// vantage under dir/<slug>/. The stores are sealed and carry the
+// generation parameters in their manifests; OpenReplay reads them back.
+func (t *TakedownStudy) WriteArchive(dir string, opts flowstore.Options, kinds ...trafficgen.Kind) error {
+	if len(kinds) == 0 {
+		for _, ak := range archiveKinds {
+			kinds = append(kinds, ak.Kind)
+		}
+	}
+	cfg := t.Scenario.Config()
+	for _, k := range kinds {
+		o := opts
+		o.Meta = map[string]string{
+			"study":    "takedown",
+			"vantage":  KindSlug(k),
+			"seed":     strconv.FormatUint(cfg.Seed, 10),
+			"scale":    strconv.FormatFloat(cfg.Scale, 'g', -1, 64),
+			"days":     strconv.Itoa(cfg.Days),
+			"start":    cfg.Start.UTC().Format(time.RFC3339),
+			"takedown": cfg.Takedown.UTC().Format(time.RFC3339),
+		}
+		st, err := flowstore.Open(filepath.Join(dir, KindSlug(k)), o)
+		if err != nil {
+			return fmt.Errorf("core: opening archive store for %v: %w", k, err)
+		}
+		for day := 0; day < cfg.Days; day++ {
+			if err := st.Append(t.Scenario.Day(k, day)); err != nil {
+				st.Close()
+				return fmt.Errorf("core: archiving %v day %d: %w", k, day, err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("core: sealing archive store for %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// ReplayStudy serves the Section 5.2 analyses from a stored flow
+// archive instead of live generation. Because every takedown
+// aggregation is order-insensitive and exact (integer-valued daily
+// sums, per-key maps), replaying an archive yields results identical to
+// the live run that wrote it.
+type ReplayStudy struct {
+	Event  takedown.Event
+	dir    string
+	window takedown.Window
+	stores map[trafficgen.Kind]*flowstore.Store
+}
+
+// OpenReplay opens the archive at dir (written by WriteArchive or
+// cmd/flowgen -out). At least one vantage store must be present; the
+// analysis window comes from the stores' manifest metadata.
+func OpenReplay(dir string) (*ReplayStudy, error) {
+	r := &ReplayStudy{
+		Event:  takedown.FBITakedown,
+		dir:    dir,
+		stores: make(map[trafficgen.Kind]*flowstore.Store),
+	}
+	for _, ak := range archiveKinds {
+		sd := filepath.Join(dir, ak.Slug)
+		if _, err := os.Stat(filepath.Join(sd, "MANIFEST.json")); err != nil {
+			continue
+		}
+		st, err := flowstore.Open(sd, flowstore.Options{})
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("core: opening %s store: %w", ak.Slug, err)
+		}
+		r.stores[ak.Kind] = st
+	}
+	if len(r.stores) == 0 {
+		return nil, fmt.Errorf("core: no vantage stores under %s", dir)
+	}
+	for _, st := range r.stores {
+		w, err := windowFromMeta(st.Meta())
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.window = w
+		break
+	}
+	return r, nil
+}
+
+// windowFromMeta reconstructs the analysis window from store metadata.
+func windowFromMeta(meta map[string]string) (takedown.Window, error) {
+	var w takedown.Window
+	start, err := time.Parse(time.RFC3339, meta["start"])
+	if err != nil {
+		return w, fmt.Errorf("core: archive meta start: %w", err)
+	}
+	td, err := time.Parse(time.RFC3339, meta["takedown"])
+	if err != nil {
+		return w, fmt.Errorf("core: archive meta takedown: %w", err)
+	}
+	days, err := strconv.Atoi(meta["days"])
+	if err != nil || days <= 0 {
+		return w, fmt.Errorf("core: archive meta days %q invalid", meta["days"])
+	}
+	return takedown.Window{Start: start.UTC(), Days: days, Takedown: td.UTC()}, nil
+}
+
+// Window returns the archive's analysis window.
+func (r *ReplayStudy) Window() takedown.Window { return r.window }
+
+// Kinds lists the vantage points present in the archive.
+func (r *ReplayStudy) Kinds() []trafficgen.Kind {
+	var out []trafficgen.Kind
+	for _, ak := range archiveKinds {
+		if _, ok := r.stores[ak.Kind]; ok {
+			out = append(out, ak.Kind)
+		}
+	}
+	return out
+}
+
+// Store exposes one vantage's archive (nil when absent).
+func (r *ReplayStudy) Store(k trafficgen.Kind) *flowstore.Store { return r.stores[k] }
+
+// source adapts one vantage store to a takedown record stream, letting
+// the sparse indexes prune with the given query.
+func (r *ReplayStudy) source(k trafficgen.Kind, q flowstore.Query) (takedown.Source, error) {
+	st, ok := r.stores[k]
+	if !ok {
+		return nil, fmt.Errorf("core: archive has no %v store", k)
+	}
+	return func(fn func(*flow.Record) error) error {
+		_, err := st.Scan(q, fn)
+		return err
+	}, nil
+}
+
+// triggerPorts are the reflector dst ports Figure 4 sums over.
+func triggerPorts() []uint16 {
+	ports := make([]uint16, 0, len(takedown.ReflectorVectors))
+	for _, v := range takedown.ReflectorVectors {
+		ports = append(ports, v.Port())
+	}
+	return ports
+}
+
+// Figure4 computes the to-reflector panels for one vantage point from
+// the archive. The scan is pruned to UDP trigger-port records — the
+// aggregation applies the identical exact filter, so pruning cannot
+// change the result.
+func (r *ReplayStudy) Figure4(k trafficgen.Kind) ([]takedown.Figure4Panel, error) {
+	src, err := r.source(k, flowstore.Query{
+		Protocols: []uint8{packet.IPProtoUDP},
+		DstPorts:  triggerPorts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return takedown.Figure4Source(src, r.window, k)
+}
+
+// Figure4All computes the panels for every vantage point in the archive.
+func (r *ReplayStudy) Figure4All() (map[trafficgen.Kind][]takedown.Figure4Panel, error) {
+	out := make(map[trafficgen.Kind][]takedown.Figure4Panel, len(r.stores))
+	for _, k := range r.Kinds() {
+		panels, err := r.Figure4(k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = panels
+	}
+	return out, nil
+}
+
+// Figure5 computes the systems-under-attack analysis for one vantage
+// point from the archive (UDP-pruned scan; the NTP attack filter is
+// applied exactly by the counter).
+func (r *ReplayStudy) Figure5(k trafficgen.Kind) (*takedown.Figure5Result, error) {
+	src, err := r.source(k, flowstore.Query{Protocols: []uint8{packet.IPProtoUDP}})
+	if err != nil {
+		return nil, err
+	}
+	return takedown.Figure5Source(src, r.window, k)
+}
+
+// Figure2a builds the Section 4 NTP packet size distribution from the
+// archived IXP view. The src-port-or-dst-port NTP match is not
+// expressible as a pruning predicate, so this is a full scan.
+func (r *ReplayStudy) Figure2a() (*PacketSizeDistribution, error) {
+	src, err := r.source(trafficgen.KindIXP, flowstore.Query{})
+	if err != nil {
+		return nil, err
+	}
+	return figure2aSource(src)
+}
+
+// Figure2bc classifies NTP amplification victims at one vantage point
+// from the archive. The classifier only accepts UDP records, so the
+// scan prunes non-UDP blocks without changing the result.
+func (r *ReplayStudy) Figure2bc(k trafficgen.Kind) (*VantageVictims, error) {
+	src, err := r.source(k, flowstore.Query{Protocols: []uint8{packet.IPProtoUDP}})
+	if err != nil {
+		return nil, err
+	}
+	return figure2bcSource(src, k)
+}
+
+// AllVantages runs Figure2bc for every vantage point in the archive.
+func (r *ReplayStudy) AllVantages() ([]*VantageVictims, error) {
+	var out []*VantageVictims
+	for _, k := range r.Kinds() {
+		v, err := r.Figure2bc(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Close closes every vantage store.
+func (r *ReplayStudy) Close() error {
+	var firstErr error
+	for _, st := range r.stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"booterscope/internal/flowstore"
+	"booterscope/internal/takedown"
+	"booterscope/internal/trafficgen"
+)
+
+// TestReplayMatchesLive is the archive's acceptance criterion: the
+// Section 5.2 analyses replayed from a stored 30-day window must be
+// byte-identical to live generation at the same seed — same Welch
+// significance outcomes, same after/before ratios, same daily series.
+// This holds because the takedown aggregations are exact (integer sums
+// in float64, per-key maps) and order-insensitive, so the store's
+// shard-merge delivery order cannot perturb them.
+func TestReplayMatchesLive(t *testing.T) {
+	cfg := trafficgen.Config{
+		Start:    TakedownDate.Add(-15 * 24 * time.Hour),
+		Days:     30,
+		Takedown: TakedownDate,
+		Seed:     2019,
+		Scale:    0.15,
+	}
+	study := &TakedownStudy{Scenario: trafficgen.NewScenario(cfg), Event: takedown.FBITakedown}
+	kinds := []trafficgen.Kind{trafficgen.KindIXP, trafficgen.KindTier2}
+
+	dir := t.TempDir()
+	if err := study.WriteArchive(dir, flowstore.Options{NoSync: true}, kinds...); err != nil {
+		t.Fatalf("write archive: %v", err)
+	}
+	replay, err := OpenReplay(dir)
+	if err != nil {
+		t.Fatalf("open replay: %v", err)
+	}
+	defer replay.Close()
+
+	w := replay.Window()
+	if !w.Start.Equal(cfg.Start) || w.Days != cfg.Days || !w.Takedown.Equal(cfg.Takedown) {
+		t.Fatalf("replay window %+v does not match config %+v", w, cfg)
+	}
+	if got := replay.Kinds(); len(got) != len(kinds) {
+		t.Fatalf("replay kinds %v, want %v", got, kinds)
+	}
+
+	for _, k := range kinds {
+		livePanels, err := takedown.Figure4(study.Scenario, k)
+		if err != nil {
+			t.Fatalf("%v live figure4: %v", k, err)
+		}
+		repPanels, err := replay.Figure4(k)
+		if err != nil {
+			t.Fatalf("%v replay figure4: %v", k, err)
+		}
+		if len(livePanels) != len(repPanels) {
+			t.Fatalf("%v: %d live panels vs %d replayed", k, len(livePanels), len(repPanels))
+		}
+		for i := range livePanels {
+			l, r := livePanels[i], repPanels[i]
+			if l.Vector != r.Vector {
+				t.Fatalf("%v panel %d: vector %v vs %v", k, i, l.Vector, r.Vector)
+			}
+			if !reflect.DeepEqual(l.Metrics, r.Metrics) {
+				t.Errorf("%v %v: metrics diverge\nlive:   %+v\nreplay: %+v", k, l.Vector, l.Metrics, r.Metrics)
+			}
+			if !reflect.DeepEqual(l.Daily, r.Daily) {
+				t.Errorf("%v %v: daily series diverge (%d vs %d points)", k, l.Vector, len(l.Daily), len(r.Daily))
+			}
+		}
+
+		live5, err := takedown.Figure5(study.Scenario, k)
+		if err != nil {
+			t.Fatalf("%v live figure5: %v", k, err)
+		}
+		rep5, err := replay.Figure5(k)
+		if err != nil {
+			t.Fatalf("%v replay figure5: %v", k, err)
+		}
+		if !reflect.DeepEqual(live5.Metrics, rep5.Metrics) {
+			t.Errorf("%v figure5: metrics diverge\nlive:   %+v\nreplay: %+v", k, live5.Metrics, rep5.Metrics)
+		}
+		if !reflect.DeepEqual(live5.Hourly, rep5.Hourly) {
+			t.Errorf("%v figure5: hourly series diverge (%d vs %d points)", k, len(live5.Hourly), len(rep5.Hourly))
+		}
+	}
+}
+
+// TestWriteArchiveAccounting: the archive writer must account for every
+// generated record — the store ledger is how a dropped batch would
+// surface under chaos.
+func TestWriteArchiveAccounting(t *testing.T) {
+	cfg := trafficgen.Config{
+		Start:    TakedownDate.Add(-2 * 24 * time.Hour),
+		Days:     4,
+		Takedown: TakedownDate,
+		Seed:     7,
+		Scale:    0.05,
+	}
+	study := &TakedownStudy{Scenario: trafficgen.NewScenario(cfg), Event: takedown.FBITakedown}
+	k := trafficgen.KindTier2
+	total := 0
+	for day := 0; day < cfg.Days; day++ {
+		total += len(study.Scenario.Day(k, day))
+	}
+
+	dir := t.TempDir()
+	if err := study.WriteArchive(dir, flowstore.Options{NoSync: true}, k); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := OpenReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	st := replay.Store(k)
+	if st == nil {
+		t.Fatal("missing tier2 store")
+	}
+	var sealed uint64
+	for _, e := range st.Segments() {
+		sealed += e.Records
+	}
+	if sealed != uint64(total) {
+		t.Fatalf("archive holds %d records, generator produced %d", sealed, total)
+	}
+}

@@ -1,0 +1,253 @@
+package flowstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// Block codec: one block holds up to Options.BlockRecords flow records,
+// sorted by Start, encoded column by column. Sorted timestamps make the
+// start-second column delta-compress to near nothing; addresses are
+// split into two uvarint halves of their 16-byte form, which keeps IPv4
+// (12 known bytes) at ~8 bytes per address; counters and ports are raw
+// uvarints. The encoding is exact: every field of every record —
+// including zero counters, max-uint64 counters, pre-1970 timestamps,
+// IPv6 and invalid addresses — round-trips bit-for-bit (times compare
+// with time.Time.Equal; decoded times are UTC).
+
+// Per-record flag bits (column 0).
+const (
+	flagSrcIs4 = 1 << iota
+	flagDstIs4
+	flagSrcValid
+	flagDstValid
+	flagEgress
+)
+
+// appendUvarints appends a length-prefixed column of raw uvarints.
+func appendColumn(dst []byte, col []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(col)))
+	return append(dst, col...)
+}
+
+// zigzag maps signed to unsigned preserving small magnitudes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// addrHalves splits an address's 16-byte form into two big-endian
+// uint64 halves. Invalid addresses yield zero halves; the flags column
+// records validity and the 4/16 distinction so decoding is exact.
+func addrHalves(a netip.Addr) (hi, lo uint64) {
+	b := a.As16()
+	return binary.BigEndian.Uint64(b[0:8]), binary.BigEndian.Uint64(b[8:16])
+}
+
+// addrFromHalves reconstructs an address from its halves and flag bits.
+func addrFromHalves(hi, lo uint64, valid, is4 bool) netip.Addr {
+	if !valid {
+		return netip.Addr{}
+	}
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], hi)
+	binary.BigEndian.PutUint64(b[8:16], lo)
+	a := netip.AddrFrom16(b)
+	if is4 {
+		return a.Unmap()
+	}
+	return a
+}
+
+// encodeBlock encodes records (already sorted by Start) into a column
+// payload. The layout is a sequence of length-prefixed columns in a
+// fixed order; decodeBlock is the exact inverse.
+func encodeBlock(records []flow.Record) []byte {
+	n := len(records)
+	var (
+		colFlags    = make([]byte, 0, n)
+		colSrcHi    []byte
+		colSrcLo    []byte
+		colDstHi    []byte
+		colDstLo    []byte
+		colSrcPort  []byte
+		colDstPort  []byte
+		colProto    = make([]byte, 0, n)
+		colPackets  []byte
+		colBytes    []byte
+		colStartSec []byte
+		colStartNs  []byte
+		colEndSec   []byte
+		colEndNs    []byte
+		colSrcAS    []byte
+		colDstAS    []byte
+		colSampling []byte
+	)
+	prevStartSec := int64(0)
+	for i := range records {
+		r := &records[i]
+		var flags byte
+		if r.Src.IsValid() {
+			flags |= flagSrcValid
+			if r.Src.Is4() {
+				flags |= flagSrcIs4
+			}
+		}
+		if r.Dst.IsValid() {
+			flags |= flagDstValid
+			if r.Dst.Is4() {
+				flags |= flagDstIs4
+			}
+		}
+		if r.Direction == flow.Egress {
+			flags |= flagEgress
+		}
+		colFlags = append(colFlags, flags)
+
+		shi, slo := addrHalves(r.Src)
+		dhi, dlo := addrHalves(r.Dst)
+		colSrcHi = binary.AppendUvarint(colSrcHi, shi)
+		colSrcLo = binary.AppendUvarint(colSrcLo, slo)
+		colDstHi = binary.AppendUvarint(colDstHi, dhi)
+		colDstLo = binary.AppendUvarint(colDstLo, dlo)
+		colSrcPort = binary.AppendUvarint(colSrcPort, uint64(r.SrcPort))
+		colDstPort = binary.AppendUvarint(colDstPort, uint64(r.DstPort))
+		colProto = append(colProto, r.Protocol)
+		colPackets = binary.AppendUvarint(colPackets, r.Packets)
+		colBytes = binary.AppendUvarint(colBytes, r.Bytes)
+
+		ssec := r.Start.Unix()
+		colStartSec = binary.AppendUvarint(colStartSec, zigzag(ssec-prevStartSec))
+		prevStartSec = ssec
+		colStartNs = binary.AppendUvarint(colStartNs, uint64(r.Start.Nanosecond()))
+		colEndSec = binary.AppendUvarint(colEndSec, zigzag(r.End.Unix()-ssec))
+		colEndNs = binary.AppendUvarint(colEndNs, uint64(r.End.Nanosecond()))
+
+		colSrcAS = binary.AppendUvarint(colSrcAS, uint64(r.SrcAS))
+		colDstAS = binary.AppendUvarint(colDstAS, uint64(r.DstAS))
+		colSampling = binary.AppendUvarint(colSampling, uint64(r.SamplingRate))
+	}
+
+	cols := [][]byte{
+		colFlags, colSrcHi, colSrcLo, colDstHi, colDstLo,
+		colSrcPort, colDstPort, colProto, colPackets, colBytes,
+		colStartSec, colStartNs, colEndSec, colEndNs,
+		colSrcAS, colDstAS, colSampling,
+	}
+	size := 0
+	for _, c := range cols {
+		size += len(c) + binary.MaxVarintLen64
+	}
+	out := make([]byte, 0, size)
+	for _, c := range cols {
+		out = appendColumn(out, c)
+	}
+	return out
+}
+
+// colReader iterates one column's uvarints.
+type colReader struct {
+	b   []byte
+	off int
+}
+
+func (c *colReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("flowstore: corrupt column varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+// splitColumns cuts the payload back into its length-prefixed columns.
+func splitColumns(payload []byte, want int) ([][]byte, error) {
+	cols := make([][]byte, 0, want)
+	off := 0
+	for i := 0; i < want; i++ {
+		l, n := binary.Uvarint(payload[off:])
+		if n <= 0 || off+n+int(l) > len(payload) {
+			return nil, fmt.Errorf("flowstore: corrupt column %d header", i)
+		}
+		off += n
+		cols = append(cols, payload[off:off+int(l)])
+		off += int(l)
+	}
+	return cols, nil
+}
+
+// decodeBlock decodes a column payload into count records, appending to
+// dst and returning it.
+func decodeBlock(dst []flow.Record, payload []byte, count int) ([]flow.Record, error) {
+	const nCols = 17
+	cols, err := splitColumns(payload, nCols)
+	if err != nil {
+		return dst, err
+	}
+	colFlags, colProto := cols[0], cols[7]
+	if len(colFlags) != count || len(colProto) != count {
+		return dst, fmt.Errorf("flowstore: block byte-column length mismatch (%d flags, %d protos, want %d)",
+			len(colFlags), len(colProto), count)
+	}
+	rd := make([]colReader, nCols)
+	for i := range cols {
+		rd[i] = colReader{b: cols[i]}
+	}
+	prevStartSec := int64(0)
+	for i := 0; i < count; i++ {
+		flags := colFlags[i]
+		shi, err1 := rd[1].uvarint()
+		slo, err2 := rd[2].uvarint()
+		dhi, err3 := rd[3].uvarint()
+		dlo, err4 := rd[4].uvarint()
+		sport, err5 := rd[5].uvarint()
+		dport, err6 := rd[6].uvarint()
+		pkts, err7 := rd[8].uvarint()
+		bytes, err8 := rd[9].uvarint()
+		ssecD, err9 := rd[10].uvarint()
+		sns, err10 := rd[11].uvarint()
+		esecD, err11 := rd[12].uvarint()
+		ens, err12 := rd[13].uvarint()
+		srcAS, err13 := rd[14].uvarint()
+		dstAS, err14 := rd[15].uvarint()
+		sampling, err15 := rd[16].uvarint()
+		for _, e := range []error{err1, err2, err3, err4, err5, err6, err7, err8,
+			err9, err10, err11, err12, err13, err14, err15} {
+			if e != nil {
+				return dst, e
+			}
+		}
+		ssec := prevStartSec + unzigzag(ssecD)
+		prevStartSec = ssec
+		esec := ssec + unzigzag(esecD)
+		dst = append(dst, flow.Record{
+			Key: flow.Key{
+				Src:      addrFromHalves(shi, slo, flags&flagSrcValid != 0, flags&flagSrcIs4 != 0),
+				Dst:      addrFromHalves(dhi, dlo, flags&flagDstValid != 0, flags&flagDstIs4 != 0),
+				SrcPort:  uint16(sport),
+				DstPort:  uint16(dport),
+				Protocol: colProto[i],
+			},
+			Packets:      pkts,
+			Bytes:        bytes,
+			Start:        time.Unix(ssec, int64(sns)).UTC(),
+			End:          time.Unix(esec, int64(ens)).UTC(),
+			SrcAS:        uint32(srcAS),
+			DstAS:        uint32(dstAS),
+			Direction:    direction(flags),
+			SamplingRate: uint32(sampling),
+		})
+	}
+	return dst, nil
+}
+
+func direction(flags byte) flow.Direction {
+	if flags&flagEgress != 0 {
+		return flow.Egress
+	}
+	return flow.Ingress
+}

@@ -1,0 +1,521 @@
+// Package flowstore is booterscope's embedded, dependency-free flow
+// archive: a sharded, time-partitioned, columnar on-disk store for
+// flow.Record batches with a pruning scan/query API.
+//
+// The paper's measurements run over 834B IXP IPFIX flows and 6.6B
+// tier-1 NetFlow records; regenerating such windows in memory for every
+// analysis caps both window length and scale. The flowstore decouples
+// generation/collection from analysis: writers ingest record batches
+// through N shard writers (hash of the flow key) into append-only
+// segment files — one segment per (shard, time partition) — encoded
+// column by column with delta + varint compression and CRC-checked
+// block framing. Sealing a segment fsyncs it and records it in an
+// atomically updated manifest; a crash mid-segment leaves an unsealed
+// file that the next Open re-scans, truncating the torn tail and
+// adopting every intact block, with the damage reported — never
+// silent (see RecoveryReport and the store accounting in Stats).
+//
+// Reads go through Scan: per-block sparse indexes (start-time range,
+// destination address range, protocol bitmap) prune non-matching
+// blocks without decoding them, per-shard scanners decode and filter in
+// parallel, and the shard streams merge into global start-time order,
+// so replaying a stored window yields the same analysis results as the
+// live generation that produced it.
+package flowstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"booterscope/internal/chaos"
+	"booterscope/internal/flow"
+)
+
+// Defaults.
+const (
+	DefaultShards       = 4
+	DefaultBlockRecords = 4096
+	DefaultPartition    = 24 * time.Hour
+)
+
+// Options configure a store at creation. Opening an existing store
+// reads the geometry from its manifest; the geometry fields here are
+// then ignored.
+type Options struct {
+	// Shards is the number of shard writers (default 4). Records are
+	// routed by a hash of their flow key, so one flow's records always
+	// land in one shard.
+	Shards int
+	// BlockRecords is the records-per-block target (default 4096).
+	BlockRecords int
+	// Partition is the time-partition width (default 24h). A segment
+	// never spans partitions, so time-bounded scans prune whole
+	// segments from the manifest alone.
+	Partition time.Duration
+	// NoSync skips the fsync on segment seal — for tests and
+	// benchmarks; durable deployments leave it false.
+	NoSync bool
+	// WriteFault, when set, is consulted before every block write —
+	// the chaos hook crash-recovery tests use to kill a writer
+	// mid-segment. Records of a failed write are dropped and counted
+	// in Stats().RecordsDropped, never silently lost.
+	WriteFault *chaos.Failpoint
+	// Meta is arbitrary user metadata stored in the manifest at
+	// creation (e.g. generator seed, scale, vantage point) so replay
+	// can reconstruct the analysis window.
+	Meta map[string]string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.BlockRecords <= 0 {
+		o.BlockRecords = DefaultBlockRecords
+	}
+	if o.Partition <= 0 {
+		o.Partition = DefaultPartition
+	}
+	return o
+}
+
+// Stats is the store's exact ingest accounting. The invariant
+// Appended == Durable + Buffered + Dropped holds at every quiescent
+// point; chaos tests assert it through crashes and injected faults.
+type Stats struct {
+	// RecordsAppended counts records handed to Append.
+	RecordsAppended uint64
+	// RecordsDurable counts records in fully written (CRC-framed)
+	// blocks.
+	RecordsDurable uint64
+	// RecordsBuffered counts records waiting in open block buffers.
+	RecordsBuffered uint64
+	// RecordsDropped counts records lost to write errors or injected
+	// faults — accounted, not silent.
+	RecordsDropped uint64
+	// BlocksWritten, SegmentsSealed, and BytesWritten describe the
+	// on-disk result.
+	BlocksWritten  uint64
+	SegmentsSealed uint64
+	BytesWritten   uint64
+}
+
+// RecoveryReport describes what Open found in unsealed segments.
+type RecoveryReport struct {
+	// RecoveredSegments and RecoveredRecords count unsealed segments
+	// adopted into the manifest and the intact records inside them.
+	RecoveredSegments int
+	RecoveredRecords  uint64
+	// TornSegments and TruncatedBytes count segments whose tail was
+	// torn (partial frame or CRC failure) and the bytes cut.
+	TornSegments   int
+	TruncatedBytes int64
+}
+
+// Store is a flow archive rooted at one directory. A Store is safe for
+// one writer goroutine plus any number of concurrent Scan calls.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	man    *manifest
+	shards []*shardWriter
+	stats  Stats
+	rec    RecoveryReport
+	closed bool
+}
+
+// shardWriter routes one shard's records into per-partition segments.
+type shardWriter struct {
+	id       int
+	dir      string
+	open     map[int64]*segmentWriter // partition start sec -> writer
+	segSeq   int
+	maxPart  int64
+	havePart bool
+}
+
+// shardOf routes a record to a shard by an FNV-1a hash of its flow
+// key. The hash is fixed (not per-process seeded) so the same input
+// always produces the same shard layout — replay determinism extends
+// to the bytes on disk.
+func shardOf(r *flow.Record, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	src, dst := r.Src.As16(), r.Dst.As16()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(r.SrcPort >> 8))
+	mix(byte(r.SrcPort))
+	mix(byte(r.DstPort >> 8))
+	mix(byte(r.DstPort))
+	mix(r.Protocol)
+	return int(h % uint64(shards))
+}
+
+// Open opens the store at dir, creating it when absent. Opening an
+// existing store runs crash recovery: unsealed segment files are
+// scanned, torn tails truncated, and intact blocks adopted into the
+// manifest before the store accepts reads or writes.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	if man == nil {
+		man = &manifest{
+			Version:      manifestVersion,
+			Shards:       opts.Shards,
+			BlockRecords: opts.BlockRecords,
+			PartitionSec: int64(opts.Partition / time.Second),
+			Meta:         opts.Meta,
+		}
+		if err := man.save(dir); err != nil {
+			return nil, err
+		}
+	} else {
+		// Existing store: geometry comes from the manifest.
+		s.opts.Shards = man.Shards
+		s.opts.BlockRecords = man.BlockRecords
+		s.opts.Partition = time.Duration(man.PartitionSec) * time.Second
+	}
+	s.man = man
+	for i := 0; i < s.opts.Shards; i++ {
+		sd := filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &shardWriter{id: i, dir: sd, open: make(map[int64]*segmentWriter)})
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	registerOpen(s)
+	return s, nil
+}
+
+// recover scans shard directories for segment files the manifest does
+// not list, truncates torn tails, and adopts the intact prefix.
+func (s *Store) recover() error {
+	sealed := make(map[string]bool, len(s.man.Segments))
+	for _, e := range s.man.Segments {
+		sealed[filepath.Join(fmt.Sprintf("shard-%02d", e.Shard), e.File)] = true
+	}
+	changed := false
+	for _, sw := range s.shards {
+		names, err := os.ReadDir(sw.dir)
+		if err != nil {
+			return err
+		}
+		for _, de := range names {
+			name := de.Name()
+			if de.IsDir() || !strings.HasPrefix(name, "seg-") {
+				continue
+			}
+			rel := filepath.Join(fmt.Sprintf("shard-%02d", sw.id), name)
+			if sealed[rel] {
+				continue
+			}
+			path := filepath.Join(sw.dir, name)
+			scan, err := scanSegmentFile(path, true)
+			if err != nil {
+				return fmt.Errorf("flowstore: recovering %s: %w", rel, err)
+			}
+			if scan.torn {
+				if err := os.Truncate(path, scan.validLen); err != nil {
+					return fmt.Errorf("flowstore: truncating torn tail of %s: %w", rel, err)
+				}
+				s.rec.TornSegments++
+				s.rec.TruncatedBytes += scan.tornBytes
+				metricTruncatedBytes.Add(uint64(scan.tornBytes))
+			}
+			if len(scan.blocks) == 0 {
+				// Nothing recoverable: drop the empty shell.
+				if err := os.Remove(path); err != nil {
+					return err
+				}
+				changed = true
+				continue
+			}
+			part, seq := parseSegName(name)
+			minSec := scan.blocks[0].MinStart.Unix()
+			maxSec := scan.blocks[0].MaxStart.Unix()
+			for _, b := range scan.blocks[1:] {
+				if v := b.MinStart.Unix(); v < minSec {
+					minSec = v
+				}
+				if v := b.MaxStart.Unix(); v > maxSec {
+					maxSec = v
+				}
+			}
+			s.man.Segments = append(s.man.Segments, SegmentEntry{
+				Shard:        sw.id,
+				File:         name,
+				PartitionSec: part,
+				Records:      scan.records,
+				Blocks:       uint64(len(scan.blocks)),
+				Bytes:        uint64(scan.validLen),
+				MinStartSec:  minSec,
+				MaxStartSec:  maxSec,
+				Recovered:    true,
+			})
+			s.rec.RecoveredSegments++
+			s.rec.RecoveredRecords += scan.records
+			metricRecoveredRecords.Add(scan.records)
+			changed = true
+			if seq >= sw.segSeq {
+				sw.segSeq = seq + 1
+			}
+		}
+		// Later segments of a partition must not collide with sealed
+		// names either.
+		for _, e := range s.man.Segments {
+			if e.Shard == sw.id {
+				if _, seq := parseSegName(e.File); seq >= sw.segSeq {
+					sw.segSeq = seq + 1
+				}
+			}
+		}
+	}
+	if changed {
+		return s.man.save(s.dir)
+	}
+	return nil
+}
+
+// segName formats a segment file name; parseSegName inverts it.
+func segName(partSec int64, seq int) string {
+	return fmt.Sprintf("seg-%d-%04d.fsg", partSec, seq)
+}
+
+func parseSegName(name string) (partSec int64, seq int) {
+	fmt.Sscanf(name, "seg-%d-%d.fsg", &partSec, &seq)
+	return partSec, seq
+}
+
+// Recovery reports what the Open-time crash recovery found.
+func (s *Store) Recovery() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// Meta returns the manifest's user metadata.
+func (s *Store) Meta() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.man.Meta))
+	for k, v := range s.man.Meta {
+		out[k] = v
+	}
+	return out
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// partitionOf truncates a record start time to its partition.
+func (s *Store) partitionOf(t time.Time) int64 {
+	psec := int64(s.opts.Partition / time.Second)
+	sec := t.Unix()
+	p := sec - mod(sec, psec)
+	return p
+}
+
+// mod is a non-negative modulo (records before 1970 still partition).
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// Append routes a batch of records into the shard writers. Partial
+// failures (an injected fault or write error on one shard) do not
+// abort the batch: the failed block's records are counted dropped and
+// the first error is returned after the batch completes.
+func (s *Store) Append(records []flow.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("flowstore: store is closed")
+	}
+	start := time.Now()
+	s.stats.RecordsAppended += uint64(len(records))
+	metricIngestRecords.Add(uint64(len(records)))
+	var firstErr error
+	for i := range records {
+		r := &records[i]
+		sw := s.shards[shardOf(r, s.opts.Shards)]
+		w, err := s.segmentFor(sw, s.partitionOf(r.Start))
+		if err != nil {
+			s.stats.RecordsDropped++
+			metricDroppedRecords.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := w.add(*r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	metricIngestSeconds.ObserveDuration(time.Since(start))
+	return firstErr
+}
+
+// segmentFor returns the open segment writer for a shard partition,
+// creating it on first use and sealing partitions two or more behind
+// the newest to bound open file descriptors (ingest is roughly
+// time-ordered; a record for a long-sealed partition simply opens a
+// new segment file there).
+func (s *Store) segmentFor(sw *shardWriter, part int64) (*segmentWriter, error) {
+	if w, ok := sw.open[part]; ok {
+		return w, nil
+	}
+	if !sw.havePart || part > sw.maxPart {
+		sw.maxPart, sw.havePart = part, true
+		psec := int64(s.opts.Partition / time.Second)
+		for p, w := range sw.open {
+			if p <= part-2*psec {
+				if err := s.sealSegment(sw, p, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	path := filepath.Join(sw.dir, segName(part, sw.segSeq))
+	sw.segSeq++
+	w, err := newSegmentWriter(s, sw.id, path)
+	if err != nil {
+		return nil, err
+	}
+	sw.open[part] = w
+	return w, nil
+}
+
+// sealSegment seals one open segment and records it in the manifest
+// (in memory; the manifest is saved by Seal/Close).
+func (s *Store) sealSegment(sw *shardWriter, part int64, w *segmentWriter) error {
+	delete(sw.open, part)
+	if err := w.seal(!s.opts.NoSync); err != nil {
+		return err
+	}
+	if w.blocks == 0 {
+		return os.Remove(w.path)
+	}
+	s.man.Segments = append(s.man.Segments, SegmentEntry{
+		Shard:        sw.id,
+		File:         filepath.Base(w.path),
+		PartitionSec: part,
+		Records:      w.records,
+		Blocks:       w.blocks,
+		Bytes:        w.bytes,
+		MinStartSec:  w.minSec,
+		MaxStartSec:  w.maxSec,
+	})
+	s.stats.SegmentsSealed++
+	metricSegmentsSealed.Inc()
+	return nil
+}
+
+// Seal flushes every buffered block, seals every open segment, and
+// saves the manifest. The store remains open for further appends
+// (which start new segments) and scans.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealLocked()
+}
+
+func (s *Store) sealLocked() error {
+	var firstErr error
+	for _, sw := range s.shards {
+		parts := make([]int64, 0, len(sw.open))
+		for p := range sw.open {
+			parts = append(parts, p)
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+		for _, p := range parts {
+			if err := s.sealSegment(sw, p, sw.open[p]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := s.man.save(s.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Close seals and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.sealLocked()
+	s.closed = true
+	unregisterOpen(s)
+	return err
+}
+
+// Stats returns the ingest accounting snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.RecordsBuffered = 0
+	for _, sw := range s.shards {
+		for _, w := range sw.open {
+			st.RecordsBuffered += uint64(len(w.buf))
+		}
+	}
+	return st
+}
+
+// Segments returns the manifest's segment entries (sealed + recovered).
+func (s *Store) Segments() []SegmentEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentEntry, len(s.man.Segments))
+	copy(out, s.man.Segments)
+	return out
+}
+
+// noteBlockWritten updates accounting after a successful block write.
+// Called with s.mu held (the writer path runs under Append/Seal).
+func (s *Store) noteBlockWritten(records, bytes uint64) {
+	s.stats.RecordsDurable += records
+	s.stats.BlocksWritten++
+	s.stats.BytesWritten += bytes
+	metricBlocksWritten.Inc()
+	metricBytesWritten.Add(bytes)
+}
+
+// dropBuffered accounts records lost to a failed block write.
+func (s *Store) dropBuffered(n uint64) {
+	s.stats.RecordsDropped += n
+	metricDroppedRecords.Add(n)
+}

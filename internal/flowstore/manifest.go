@@ -1,0 +1,103 @@
+package flowstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// manifestName is the manifest file at the store root.
+const manifestName = "MANIFEST.json"
+
+// manifestVersion guards the on-disk format.
+const manifestVersion = 1
+
+// SegmentEntry records one sealed segment in the manifest. Segments not
+// listed here are unsealed — the shape a crash leaves behind — and are
+// re-scanned, truncated, and adopted on the next Open.
+type SegmentEntry struct {
+	// Shard is the owning shard index.
+	Shard int `json:"shard"`
+	// File is the segment file name relative to the shard directory.
+	File string `json:"file"`
+	// PartitionSec is the partition start (unix seconds).
+	PartitionSec int64 `json:"partition_sec"`
+	// Records and Blocks count the segment's sealed contents.
+	Records uint64 `json:"records"`
+	Blocks  uint64 `json:"blocks"`
+	// Bytes is the file size including magic and framing.
+	Bytes uint64 `json:"bytes"`
+	// MinStartSec/MaxStartSec bound the segment's record start times
+	// (unix seconds, inclusive) for segment-level pruning.
+	MinStartSec int64 `json:"min_start_sec"`
+	MaxStartSec int64 `json:"max_start_sec"`
+	// Recovered marks segments adopted by crash recovery rather than a
+	// clean seal.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// manifest is the store's durable catalog.
+type manifest struct {
+	Version      int               `json:"version"`
+	Shards       int               `json:"shards"`
+	BlockRecords int               `json:"block_records"`
+	PartitionSec int64             `json:"partition_sec"`
+	Meta         map[string]string `json:"meta,omitempty"`
+	Segments     []SegmentEntry    `json:"segments"`
+}
+
+// save writes the manifest atomically (tmp + rename + dir sync).
+func (m *manifest) save(dir string) error {
+	sort.Slice(m.Segments, func(i, j int) bool {
+		a, b := m.Segments[i], m.Segments[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		if a.PartitionSec != b.PartitionSec {
+			return a.PartitionSec < b.PartitionSec
+		}
+		return a.File < b.File
+	})
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// loadManifest reads the manifest; a missing file returns (nil, nil).
+func loadManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("flowstore: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("flowstore: manifest version %d not supported", m.Version)
+	}
+	return &m, nil
+}

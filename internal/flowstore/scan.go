@@ -1,0 +1,313 @@
+package flowstore
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// Query selects records for a Scan. The zero value matches everything.
+// Field predicates AND together; list predicates (ports, protocols)
+// OR within the list.
+type Query struct {
+	// From and To bound record start times to the half-open interval
+	// [From, To). Zero times leave the respective side unbounded.
+	From, To time.Time
+	// Dst, when valid, matches only records toward that destination —
+	// the victim-drilldown predicate.
+	Dst netip.Addr
+	// DstPorts, when non-empty, matches any of the given destination
+	// ports (the reflector-trigger predicate: 123/53/11211).
+	DstPorts []uint16
+	// Protocols, when non-empty, matches any of the given IP protocols.
+	Protocols []uint8
+}
+
+// matches applies the exact record-level predicate.
+func (q *Query) matches(r *flow.Record) bool {
+	if !q.From.IsZero() && r.Start.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && !r.Start.Before(q.To) {
+		return false
+	}
+	if q.Dst.IsValid() && r.Dst != q.Dst {
+		return false
+	}
+	if len(q.DstPorts) > 0 {
+		ok := false
+		for _, p := range q.DstPorts {
+			if r.DstPort == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(q.Protocols) > 0 {
+		ok := false
+		for _, p := range q.Protocols {
+			if r.Protocol == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// segPrunable prunes a whole segment from its manifest entry.
+func (q *Query) segPrunable(e *SegmentEntry) bool {
+	if !q.From.IsZero() && e.MaxStartSec < q.From.Unix() {
+		return true
+	}
+	if !q.To.IsZero() && e.MinStartSec > q.To.Unix() {
+		return true
+	}
+	return false
+}
+
+// ScanStats accounts one Scan call: what the sparse indexes pruned and
+// what had to be decoded.
+type ScanStats struct {
+	// SegmentsScanned and SegmentsPruned count sealed segments visited
+	// vs skipped entirely from manifest time ranges.
+	SegmentsScanned int
+	SegmentsPruned  int
+	// BlocksScanned and BlocksPruned count blocks decoded vs skipped
+	// via per-block sparse indexes.
+	BlocksScanned int
+	BlocksPruned  int
+	// RecordsScanned counts decoded records; RecordsMatched counts
+	// records that passed the exact predicate and reached the caller.
+	RecordsScanned uint64
+	RecordsMatched uint64
+}
+
+// PruneFraction is the share of visited blocks the indexes skipped.
+func (s ScanStats) PruneFraction() float64 {
+	total := s.BlocksScanned + s.BlocksPruned
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BlocksPruned) / float64(total)
+}
+
+// shardBatch is one shard's sorted batch of matching records.
+type shardBatch struct {
+	recs []flow.Record
+	err  error
+}
+
+// shardCursor pulls batches from one shard's scan goroutine.
+type shardCursor struct {
+	shard int
+	ch    <-chan shardBatch
+	buf   []flow.Record
+	pos   int
+	err   error
+}
+
+// next advances to the next record, pulling batches as needed.
+func (c *shardCursor) next() (*flow.Record, bool) {
+	for c.pos >= len(c.buf) {
+		b, ok := <-c.ch
+		if !ok {
+			return nil, false
+		}
+		if b.err != nil {
+			c.err = b.err
+			return nil, false
+		}
+		c.buf, c.pos = b.recs, 0
+	}
+	r := &c.buf[c.pos]
+	c.pos++
+	return r, true
+}
+
+// mergeHeap orders shard heads by (Start, shard id) — a deterministic
+// global time order.
+type mergeHeap []*mergeItem
+
+type mergeItem struct {
+	rec *flow.Record
+	cur *shardCursor
+}
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if !h[i].rec.Start.Equal(h[j].rec.Start) {
+		return h[i].rec.Start.Before(h[j].rec.Start)
+	}
+	return h[i].cur.shard < h[j].cur.shard
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Scan streams every sealed record matching q to fn in ascending start
+// time (ties broken by shard id, then ingest order — fully
+// deterministic). Per-shard scanners decode and filter blocks in
+// parallel; the sparse indexes prune non-matching segments and blocks
+// without decoding them. A non-nil error from fn aborts the scan and is
+// returned. Only sealed segments are visible: writers call Seal (or
+// Close) to publish.
+func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
+	start := time.Now()
+	s.mu.Lock()
+	shards := s.opts.Shards
+	byShard := make(map[int][]SegmentEntry, shards)
+	var stats ScanStats
+	for _, e := range s.man.Segments {
+		if q.segPrunable(&e) {
+			stats.SegmentsPruned++
+			blocks := int(e.Blocks)
+			stats.BlocksPruned += blocks
+			metricSegmentsPruned.Inc()
+			metricBlocksPruned.Add(uint64(blocks))
+			continue
+		}
+		byShard[e.Shard] = append(byShard[e.Shard], e)
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	// Partition-ordered segment lists give each shard stream global
+	// time order: partitions are disjoint in start time, and records
+	// within a partition are sorted after decoding.
+	statsCh := make(chan ScanStats, shards)
+	cursors := make([]*shardCursor, 0, shards)
+	for shard := 0; shard < shards; shard++ {
+		segs := byShard[shard]
+		sort.Slice(segs, func(i, j int) bool {
+			if segs[i].PartitionSec != segs[j].PartitionSec {
+				return segs[i].PartitionSec < segs[j].PartitionSec
+			}
+			return segs[i].File < segs[j].File
+		})
+		ch := make(chan shardBatch, 2)
+		cursors = append(cursors, &shardCursor{shard: shard, ch: ch})
+		go scanShard(dir, shard, segs, q, ch, statsCh)
+	}
+
+	h := make(mergeHeap, 0, len(cursors))
+	for _, c := range cursors {
+		if r, ok := c.next(); ok {
+			h = append(h, &mergeItem{rec: r, cur: c})
+		}
+	}
+	heap.Init(&h)
+	var fnErr error
+	for h.Len() > 0 {
+		it := h[0]
+		if fnErr == nil {
+			if err := fn(it.rec); err != nil {
+				fnErr = err
+			}
+		}
+		if r, ok := it.cur.next(); ok {
+			it.rec = r
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		st := <-statsCh
+		stats.SegmentsScanned += st.SegmentsScanned
+		stats.BlocksScanned += st.BlocksScanned
+		stats.BlocksPruned += st.BlocksPruned
+		stats.RecordsScanned += st.RecordsScanned
+		stats.RecordsMatched += st.RecordsMatched
+	}
+	metricScanSeconds.ObserveDuration(time.Since(start))
+	if fnErr != nil {
+		return stats, fnErr
+	}
+	for _, c := range cursors {
+		if c.err != nil {
+			return stats, c.err
+		}
+	}
+	return stats, nil
+}
+
+// scanShard streams one shard's matching records, partition by
+// partition, each partition's survivors sorted by start time.
+func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- shardBatch, statsCh chan<- ScanStats) {
+	var stats ScanStats
+	defer func() {
+		close(out)
+		statsCh <- stats
+	}()
+	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shard))
+	for i := 0; i < len(segs); {
+		// Group segments of one partition: their records interleave in
+		// time and must be sorted together.
+		j := i + 1
+		for j < len(segs) && segs[j].PartitionSec == segs[i].PartitionSec {
+			j++
+		}
+		var part []flow.Record
+		for _, e := range segs[i:j] {
+			stats.SegmentsScanned++
+			r, err := openSegmentReader(filepath.Join(shardDir, e.File))
+			if err != nil {
+				out <- shardBatch{err: err}
+				return
+			}
+			for {
+				before := len(part)
+				recs, _, err := r.nextBlock(&q, part)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					r.close()
+					out <- shardBatch{err: err}
+					return
+				}
+				if recs == nil {
+					stats.BlocksPruned++
+					metricBlocksPruned.Inc()
+					continue
+				}
+				part = recs
+				decoded := len(part) - before
+				stats.BlocksScanned++
+				stats.RecordsScanned += uint64(decoded)
+				metricBlocksScanned.Inc()
+				metricRecordsScanned.Add(uint64(decoded))
+				// Filter in place: only survivors stay for the sort.
+				kept := part[:before]
+				for k := before; k < len(part); k++ {
+					if q.matches(&part[k]) {
+						kept = append(kept, part[k])
+					}
+				}
+				part = kept
+			}
+			r.close()
+		}
+		if len(part) > 0 {
+			sort.SliceStable(part, func(a, b int) bool { return part[a].Start.Before(part[b].Start) })
+			stats.RecordsMatched += uint64(len(part))
+			metricRecordsMatched.Add(uint64(len(part)))
+			out <- shardBatch{recs: part}
+		}
+		i = j
+	}
+}

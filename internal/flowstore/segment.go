@@ -1,0 +1,426 @@
+package flowstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// Segment file layout:
+//
+//	magic (8 bytes "BSFSSEG1")
+//	block*:
+//	  u32 frameLen   — length of index+payload
+//	  u32 crc        — IEEE CRC32 over index+payload
+//	  index (84 bytes fixed):
+//	    u32 recordCount
+//	    i64 minStartSec, i64 maxStartSec   (unix seconds, inclusive)
+//	    16B minDst, 16B maxDst             (netip.Addr As16 ordering)
+//	    32B protocol bitmap                (bit p set if proto p present)
+//	  payload — column data (codec.go)
+//
+// There is no footer: a sealed segment is simply one whose blocks are
+// all recorded in the store manifest. Recovery re-scans unsealed files
+// frame by frame, truncating the first torn or CRC-corrupt frame and
+// everything after it.
+
+var segMagic = [8]byte{'B', 'S', 'F', 'S', 'S', 'E', 'G', '1'}
+
+const (
+	blockIndexLen = 4 + 8 + 8 + 16 + 16 + 32
+	frameHeadLen  = 8 // u32 len + u32 crc
+)
+
+// errTornFrame marks a frame that is incomplete or fails its CRC — the
+// expected shape of a crash mid-write, handled by truncation rather
+// than failure.
+var errTornFrame = errors.New("flowstore: torn frame")
+
+// blockIndex is the per-block sparse index used for pruning.
+type blockIndex struct {
+	Records     uint32
+	MinStartSec int64
+	MaxStartSec int64
+	MinDst      [16]byte
+	MaxDst      [16]byte
+	Protocols   [32]byte
+}
+
+// protoBit sets protocol p in the bitmap.
+func (ix *blockIndex) setProto(p uint8) { ix.Protocols[p>>3] |= 1 << (p & 7) }
+
+// hasProto reports whether protocol p occurs in the block.
+func (ix *blockIndex) hasProto(p uint8) bool { return ix.Protocols[p>>3]&(1<<(p&7)) != 0 }
+
+// buildIndex computes the sparse index of a sorted record block.
+func buildIndex(records []flow.Record) blockIndex {
+	ix := blockIndex{Records: uint32(len(records))}
+	for i := range records {
+		r := &records[i]
+		sec := r.Start.Unix()
+		d := r.Dst.As16()
+		if i == 0 {
+			ix.MinStartSec, ix.MaxStartSec = sec, sec
+			ix.MinDst, ix.MaxDst = d, d
+		} else {
+			if sec < ix.MinStartSec {
+				ix.MinStartSec = sec
+			}
+			if sec > ix.MaxStartSec {
+				ix.MaxStartSec = sec
+			}
+			if bytes.Compare(d[:], ix.MinDst[:]) < 0 {
+				ix.MinDst = d
+			}
+			if bytes.Compare(d[:], ix.MaxDst[:]) > 0 {
+				ix.MaxDst = d
+			}
+		}
+		ix.setProto(r.Protocol)
+	}
+	return ix
+}
+
+// marshal encodes the fixed-size index.
+func (ix *blockIndex) marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, ix.Records)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ix.MinStartSec))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ix.MaxStartSec))
+	dst = append(dst, ix.MinDst[:]...)
+	dst = append(dst, ix.MaxDst[:]...)
+	return append(dst, ix.Protocols[:]...)
+}
+
+// unmarshalIndex decodes a fixed-size index.
+func unmarshalIndex(b []byte) (blockIndex, error) {
+	var ix blockIndex
+	if len(b) < blockIndexLen {
+		return ix, errTornFrame
+	}
+	ix.Records = binary.BigEndian.Uint32(b[0:])
+	ix.MinStartSec = int64(binary.BigEndian.Uint64(b[4:]))
+	ix.MaxStartSec = int64(binary.BigEndian.Uint64(b[12:]))
+	copy(ix.MinDst[:], b[20:36])
+	copy(ix.MaxDst[:], b[36:52])
+	copy(ix.Protocols[:], b[52:84])
+	return ix, nil
+}
+
+// prunable reports whether the block cannot contain any record matching
+// the query — the sparse-index pruning decision. It is conservative:
+// false negatives are impossible, the record-level filter stays exact.
+func (ix *blockIndex) prunable(q *Query) bool {
+	if !q.From.IsZero() && ix.MaxStartSec < q.From.Unix() {
+		return true
+	}
+	if !q.To.IsZero() && ix.MinStartSec > q.To.Unix() {
+		return true
+	}
+	if q.Dst.IsValid() {
+		d := q.Dst.As16()
+		if bytes.Compare(d[:], ix.MinDst[:]) < 0 || bytes.Compare(d[:], ix.MaxDst[:]) > 0 {
+			return true
+		}
+	}
+	if len(q.Protocols) > 0 {
+		any := false
+		for _, p := range q.Protocols {
+			if ix.hasProto(p) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentWriter appends blocks to one segment file.
+type segmentWriter struct {
+	store   *Store
+	shard   int
+	path    string
+	f       *os.File
+	buf     []flow.Record
+	records uint64 // durable records (in fully written blocks)
+	blocks  uint64
+	bytes   uint64
+	minSec  int64
+	maxSec  int64
+	// broken marks a writer whose file may hold a partial frame after a
+	// real write error; further blocks are dropped (and accounted)
+	// rather than interleaved with the torn tail.
+	broken bool
+}
+
+// newSegmentWriter creates the file and writes the magic.
+func newSegmentWriter(store *Store, shard int, path string) (*segmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segmentWriter{
+		store: store, shard: shard, path: path, f: f,
+		bytes: uint64(len(segMagic)),
+	}, nil
+}
+
+// add buffers one record, flushing a block when the buffer fills.
+func (w *segmentWriter) add(rec flow.Record) error {
+	w.buf = append(w.buf, rec)
+	if len(w.buf) >= w.store.opts.BlockRecords {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock encodes and writes the buffered records as one block. On
+// any error — injected or real — the buffered records are counted as
+// dropped in the store accounting, never silently lost.
+func (w *segmentWriter) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n := uint64(len(w.buf))
+	if w.broken {
+		w.store.dropBuffered(n)
+		w.buf = w.buf[:0]
+		return fmt.Errorf("flowstore: segment %s broken by earlier write error", w.path)
+	}
+	if err := w.store.opts.WriteFault.Check(fmt.Sprintf("block-write shard %d", w.shard)); err != nil {
+		w.store.dropBuffered(n)
+		w.buf = w.buf[:0]
+		return err
+	}
+	sort.SliceStable(w.buf, func(i, j int) bool { return w.buf[i].Start.Before(w.buf[j].Start) })
+	ix := buildIndex(w.buf)
+	payload := encodeBlock(w.buf)
+
+	frame := make([]byte, 0, frameHeadLen+blockIndexLen+len(payload))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(blockIndexLen+len(payload)))
+	frame = frame[:frameHeadLen] // leave room for crc
+	frame = ix.marshal(frame)
+	frame = append(frame, payload...)
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[frameHeadLen:]))
+
+	if _, err := w.f.Write(frame); err != nil {
+		w.broken = true
+		w.store.dropBuffered(n)
+		w.buf = w.buf[:0]
+		return fmt.Errorf("flowstore: writing block: %w", err)
+	}
+	if w.blocks == 0 {
+		w.minSec, w.maxSec = ix.MinStartSec, ix.MaxStartSec
+	} else {
+		if ix.MinStartSec < w.minSec {
+			w.minSec = ix.MinStartSec
+		}
+		if ix.MaxStartSec > w.maxSec {
+			w.maxSec = ix.MaxStartSec
+		}
+	}
+	w.blocks++
+	w.records += n
+	w.bytes += uint64(len(frame))
+	w.buf = w.buf[:0]
+	w.store.noteBlockWritten(n, uint64(len(frame)))
+	return nil
+}
+
+// seal flushes, fsyncs, and closes the file.
+func (w *segmentWriter) seal(sync bool) error {
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return fmt.Errorf("flowstore: fsync %s: %w", w.path, err)
+		}
+	}
+	return w.f.Close()
+}
+
+// BlockInfo describes one block of a segment file — the inspection view
+// tests and tooling use to account for torn tails exactly.
+type BlockInfo struct {
+	Offset     int64
+	FrameBytes int
+	Records    int
+	MinStart   time.Time
+	MaxStart   time.Time
+	MinDst     netip.Addr
+	MaxDst     netip.Addr
+}
+
+// segScan is the result of scanning a segment file frame by frame.
+type segScan struct {
+	blocks    []BlockInfo
+	records   uint64
+	validLen  int64 // file offset after the last valid frame
+	torn      bool  // a torn/corrupt frame (or trailing garbage) was found
+	tornBytes int64
+}
+
+// scanSegmentFile reads every frame, verifying CRCs, and stops at the
+// first torn or corrupt frame. verify toggles CRC checking (sealed
+// segments listed in the manifest skip it on the scan fast path; the
+// recovery path always verifies).
+func scanSegmentFile(path string, verify bool) (*segScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+		return nil, fmt.Errorf("flowstore: %s: bad segment magic", path)
+	}
+	s := &segScan{validLen: int64(len(segMagic))}
+	off := s.validLen
+	var head [frameHeadLen]byte
+	for off < size {
+		if size-off < frameHeadLen {
+			s.torn = true
+			break
+		}
+		if _, err := f.ReadAt(head[:], off); err != nil {
+			s.torn = true
+			break
+		}
+		frameLen := int64(binary.BigEndian.Uint32(head[0:4]))
+		if frameLen < blockIndexLen || off+frameHeadLen+frameLen > size {
+			s.torn = true
+			break
+		}
+		body := make([]byte, frameLen)
+		if _, err := f.ReadAt(body, off+frameHeadLen); err != nil {
+			s.torn = true
+			break
+		}
+		if verify && crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(head[4:8]) {
+			s.torn = true
+			break
+		}
+		ix, err := unmarshalIndex(body)
+		if err != nil {
+			s.torn = true
+			break
+		}
+		s.blocks = append(s.blocks, BlockInfo{
+			Offset:     off,
+			FrameBytes: int(frameHeadLen + frameLen),
+			Records:    int(ix.Records),
+			MinStart:   time.Unix(ix.MinStartSec, 0).UTC(),
+			MaxStart:   time.Unix(ix.MaxStartSec, 0).UTC(),
+			MinDst:     netip.AddrFrom16(ix.MinDst).Unmap(),
+			MaxDst:     netip.AddrFrom16(ix.MaxDst).Unmap(),
+		})
+		s.records += uint64(ix.Records)
+		off += frameHeadLen + frameLen
+		s.validLen = off
+	}
+	if s.torn {
+		s.tornBytes = size - s.validLen
+	}
+	return s, nil
+}
+
+// InspectSegment lists the valid blocks of a segment file, verifying
+// every CRC. A torn tail is not an error: the returned blocks cover the
+// recoverable prefix only.
+func InspectSegment(path string) ([]BlockInfo, error) {
+	s, err := scanSegmentFile(path, true)
+	if err != nil {
+		return nil, err
+	}
+	return s.blocks, nil
+}
+
+// segmentReader iterates the matching blocks of one on-disk segment.
+type segmentReader struct {
+	f    *os.File
+	size int64
+	off  int64
+}
+
+func openSegmentReader(path string) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("flowstore: %s: bad segment magic", path)
+	}
+	return &segmentReader{f: f, size: st.Size(), off: int64(len(segMagic))}, nil
+}
+
+func (r *segmentReader) close() { r.f.Close() }
+
+// nextBlock reads the next frame's index; when the query prunes the
+// block, the payload is skipped without being read. Returns nil records
+// with a non-nil index for pruned blocks and (nil, nil, io.EOF) at the
+// end.
+func (r *segmentReader) nextBlock(q *Query, recs []flow.Record) ([]flow.Record, *blockIndex, error) {
+	if r.off >= r.size {
+		return nil, nil, io.EOF
+	}
+	var head [frameHeadLen]byte
+	if _, err := r.f.ReadAt(head[:], r.off); err != nil {
+		return nil, nil, fmt.Errorf("flowstore: reading frame header: %w", err)
+	}
+	frameLen := int64(binary.BigEndian.Uint32(head[0:4]))
+	if frameLen < blockIndexLen || r.off+frameHeadLen+frameLen > r.size {
+		return nil, nil, fmt.Errorf("flowstore: %w at offset %d (unrecovered segment?)", errTornFrame, r.off)
+	}
+	ixb := make([]byte, blockIndexLen)
+	if _, err := r.f.ReadAt(ixb, r.off+frameHeadLen); err != nil {
+		return nil, nil, err
+	}
+	ix, err := unmarshalIndex(ixb)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ix.prunable(q) {
+		r.off += frameHeadLen + frameLen
+		return nil, &ix, nil
+	}
+	payload := make([]byte, frameLen-blockIndexLen)
+	if _, err := r.f.ReadAt(payload, r.off+frameHeadLen+blockIndexLen); err != nil {
+		return nil, nil, err
+	}
+	recs, err = decodeBlock(recs, payload, int(ix.Records))
+	if err != nil {
+		return nil, nil, err
+	}
+	r.off += frameHeadLen + frameLen
+	return recs, &ix, nil
+}

@@ -103,6 +103,18 @@ func clamp32(v uint64) uint32 {
 	return uint32(v)
 }
 
+// uptimeTime reconstructs an absolute flow time from a 32-bit
+// milliseconds-since-boot value and the packet header's (uptime, clock)
+// pair. Both the header uptime and the flow offset wrap every ~49.7
+// days of router uptime, so anchoring at boot = ts - uptime is wrong as
+// soon as a router has been up past the wrap. The signed mod-2^32
+// difference against the header uptime is exact regardless of uptime
+// whenever the flow time is within ~24.8 days of the export time —
+// which holds for any live flow cache.
+func uptimeTime(ts time.Time, uptime32, flow32 uint32) time.Time {
+	return ts.Add(time.Duration(int32(flow32-uptime32)) * time.Millisecond)
+}
+
 // V5Packet is a decoded NetFlow v5 export packet.
 type V5Packet struct {
 	SysUptime    time.Duration
@@ -125,11 +137,10 @@ func DecodeV5(b []byte) (*V5Packet, error) {
 	if len(b) < v5HeaderLen+count*v5RecordLen {
 		return nil, ErrTruncated
 	}
-	uptime := time.Duration(binary.BigEndian.Uint32(b[4:])) * time.Millisecond
+	uptime32 := binary.BigEndian.Uint32(b[4:])
 	ts := time.Unix(int64(binary.BigEndian.Uint32(b[8:])), int64(binary.BigEndian.Uint32(b[12:]))).UTC()
-	boot := ts.Add(-uptime)
 	p := &V5Packet{
-		SysUptime:    uptime,
+		SysUptime:    time.Duration(uptime32) * time.Millisecond,
 		Timestamp:    ts,
 		Sequence:     binary.BigEndian.Uint32(b[16:]),
 		SamplingRate: 1,
@@ -151,8 +162,8 @@ func DecodeV5(b []byte) (*V5Packet, error) {
 			},
 			Packets:      uint64(binary.BigEndian.Uint32(rb[16:])),
 			Bytes:        uint64(binary.BigEndian.Uint32(rb[20:])),
-			Start:        boot.Add(time.Duration(binary.BigEndian.Uint32(rb[24:])) * time.Millisecond),
-			End:          boot.Add(time.Duration(binary.BigEndian.Uint32(rb[28:])) * time.Millisecond),
+			Start:        uptimeTime(ts, uptime32, binary.BigEndian.Uint32(rb[24:])),
+			End:          uptimeTime(ts, uptime32, binary.BigEndian.Uint32(rb[28:])),
 			SrcAS:        uint32(binary.BigEndian.Uint16(rb[40:])),
 			DstAS:        uint32(binary.BigEndian.Uint16(rb[42:])),
 			SamplingRate: p.SamplingRate,
@@ -368,9 +379,8 @@ func (c *V9Collector) DecodeV9(b []byte) ([]flow.Record, error) {
 	if binary.BigEndian.Uint16(b) != 9 {
 		return nil, ErrBadVersion
 	}
-	uptime := time.Duration(binary.BigEndian.Uint32(b[4:])) * time.Millisecond
+	uptime32 := binary.BigEndian.Uint32(b[4:])
 	ts := time.Unix(int64(binary.BigEndian.Uint32(b[8:])), 0).UTC()
-	boot := ts.Add(-uptime)
 	sourceID := binary.BigEndian.Uint32(b[16:])
 
 	var out []flow.Record
@@ -398,7 +408,7 @@ func (c *V9Collector) DecodeV9(b []byte) ([]flow.Record, error) {
 				}
 				break
 			}
-			recs, err := c.parseData(sourceID, setID, content, boot)
+			recs, err := c.parseData(sourceID, setID, content, ts, uptime32)
 			if err != nil {
 				return nil, err
 			}
@@ -487,7 +497,7 @@ func (c *V9Collector) parseTemplates(sourceID uint32, b []byte) error {
 	return nil
 }
 
-func (c *V9Collector) parseData(sourceID uint32, tid uint16, b []byte, boot time.Time) ([]flow.Record, error) {
+func (c *V9Collector) parseData(sourceID uint32, tid uint16, b []byte, ts time.Time, uptime32 uint32) ([]flow.Record, error) {
 	fields, ok := c.templates[uint64(sourceID)<<16|uint64(tid)]
 	if !ok {
 		return nil, ErrNoTemplate
@@ -515,9 +525,9 @@ func (c *V9Collector) parseData(sourceID uint32, tid uint16, b []byte, boot time
 			case fieldInBytes:
 				rec.Bytes = beUint(v)
 			case fieldFirst:
-				rec.Start = boot.Add(time.Duration(binary.BigEndian.Uint32(v)) * time.Millisecond)
+				rec.Start = uptimeTime(ts, uptime32, binary.BigEndian.Uint32(v))
 			case fieldLast:
-				rec.End = boot.Add(time.Duration(binary.BigEndian.Uint32(v)) * time.Millisecond)
+				rec.End = uptimeTime(ts, uptime32, binary.BigEndian.Uint32(v))
 			case fieldL4Src:
 				rec.SrcPort = binary.BigEndian.Uint16(v)
 			case fieldL4Dst:

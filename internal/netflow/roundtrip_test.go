@@ -1,0 +1,217 @@
+package netflow
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// Property-style round-trip tests for the export codecs, pinning the
+// representable range of each format exactly:
+//
+//   - v5 carries 32-bit counters (encode clamps), 16-bit AS numbers
+//     (encode truncates), and millisecond times relative to sysUptime.
+//   - v9 (booterscope template) carries native 64-bit counters and
+//     32-bit AS numbers; times are relative to sysUptime like v5.
+//
+// Both formats' timestamps wrap mod 2^32 milliseconds (~49.7 days), so
+// a decoder anchored at boot = ts - uptime drifts by 2^32 ms as soon as
+// a router's uptime passes the wrap. The decoders reconstruct times as
+// a signed mod-2^32 delta against the header uptime, which is exact for
+// any flow within ~24.8 days of the export timestamp regardless of
+// uptime — the long-uptime cases below would fail under the boot-anchor
+// scheme.
+
+// randV5Record draws a record inside v5's representable range.
+func randV5Record(rng *rand.Rand, now time.Time) flow.Record {
+	a4 := func() netip.Addr {
+		var b [4]byte
+		rng.Read(b[:])
+		return netip.AddrFrom4(b)
+	}
+	counter := func() uint64 {
+		switch rng.Intn(3) {
+		case 0:
+			return 0
+		case 1:
+			return math.MaxUint32
+		default:
+			return uint64(rng.Uint32())
+		}
+	}
+	// Flow times live within the sFlow/NetFlow validity window around
+	// the export time (here: up to ~24 days back, ms granularity).
+	start := now.Add(-time.Duration(rng.Int63n(int64(24 * 24 * time.Hour)))).Truncate(time.Millisecond)
+	return flow.Record{
+		Key: flow.Key{
+			Src: a4(), Dst: a4(),
+			SrcPort:  uint16(rng.Intn(1 << 16)),
+			DstPort:  uint16(rng.Intn(1 << 16)),
+			Protocol: uint8(rng.Intn(256)),
+		},
+		Packets: counter(),
+		Bytes:   counter(),
+		Start:   start,
+		End:     start.Add(time.Duration(rng.Int63n(int64(5 * time.Minute)))).Truncate(time.Millisecond),
+		SrcAS:   uint32(rng.Intn(1 << 16)),
+		DstAS:   uint32(rng.Intn(1 << 16)),
+	}
+}
+
+// TestV5RoundTripProperty: random in-range records must round-trip
+// exactly through EncodeV5/DecodeV5 across a sweep of boot times,
+// including boots far enough in the past that the uptime counter has
+// wrapped several times.
+func TestV5RoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	now := time.Date(2018, 12, 19, 12, 0, 0, 0, time.UTC)
+	boots := []time.Time{
+		now.Add(-time.Hour),                   // young router
+		now.Add(-49*24*time.Hour - time.Hour), // just before the 49.7-day wrap
+		now.Add(-60 * 24 * time.Hour),         // wrapped once
+		now.Add(-400 * 24 * time.Hour),        // wrapped many times
+	}
+	for bi, boot := range boots {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(MaxV5Records)
+			recs := make([]flow.Record, n)
+			for i := range recs {
+				recs[i] = randV5Record(rng, now)
+			}
+			e := &V5Exporter{BootTime: boot}
+			pkt, err := e.EncodeV5(recs, now)
+			if err != nil {
+				t.Fatalf("boot %d trial %d: encode: %v", bi, trial, err)
+			}
+			dec, err := DecodeV5(pkt)
+			if err != nil {
+				t.Fatalf("boot %d trial %d: decode: %v", bi, trial, err)
+			}
+			if len(dec.Records) != n {
+				t.Fatalf("boot %d trial %d: %d records, want %d", bi, trial, len(dec.Records), n)
+			}
+			for i := range recs {
+				in, out := &recs[i], &dec.Records[i]
+				if out.Key != in.Key {
+					t.Fatalf("boot %d trial %d record %d: key %v != %v", bi, trial, i, out.Key, in.Key)
+				}
+				if out.Packets != in.Packets || out.Bytes != in.Bytes {
+					t.Fatalf("boot %d trial %d record %d: counters %d/%d != %d/%d",
+						bi, trial, i, out.Packets, out.Bytes, in.Packets, in.Bytes)
+				}
+				if !out.Start.Equal(in.Start) || !out.End.Equal(in.End) {
+					t.Fatalf("boot %d trial %d record %d: times %v/%v != %v/%v (boot %v)",
+						bi, trial, i, out.Start, out.End, in.Start, in.End, boot)
+				}
+				if out.SrcAS != in.SrcAS || out.DstAS != in.DstAS {
+					t.Fatalf("boot %d trial %d record %d: AS %d/%d != %d/%d",
+						bi, trial, i, out.SrcAS, out.DstAS, in.SrcAS, in.DstAS)
+				}
+			}
+		}
+	}
+}
+
+// TestV9RoundTripProperty: the v9 template carries 64-bit counters and
+// 32-bit AS numbers natively — zero and max-uint64 counters must
+// round-trip exactly, again across wrapped uptimes.
+func TestV9RoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	now := time.Date(2018, 12, 19, 12, 0, 0, 0, time.UTC)
+	boots := []time.Time{
+		now.Add(-time.Hour),
+		now.Add(-60 * 24 * time.Hour),  // uptime wrapped
+		now.Add(-700 * 24 * time.Hour), // wrapped many times
+	}
+	counter := func() uint64 {
+		switch rng.Intn(3) {
+		case 0:
+			return 0
+		case 1:
+			return math.MaxUint64
+		default:
+			return rng.Uint64()
+		}
+	}
+	for bi, boot := range boots {
+		e := &V9Exporter{BootTime: boot, SourceID: 7}
+		c := NewV9Collector()
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(30)
+			recs := make([]flow.Record, n)
+			for i := range recs {
+				r := randV5Record(rng, now)
+				// v9 seconds precision comes from the header clock; flow
+				// offsets are ms, so keep ms precision but align the
+				// export timestamp to a whole second.
+				r.Packets, r.Bytes = counter(), counter()
+				r.SrcAS, r.DstAS = rng.Uint32(), rng.Uint32()
+				r.SamplingRate = 1
+				recs[i] = r
+			}
+			pkt, err := e.EncodeV9(recs, now)
+			if err != nil {
+				t.Fatalf("boot %d trial %d: encode: %v", bi, trial, err)
+			}
+			dec, err := c.DecodeV9(pkt)
+			if err != nil {
+				t.Fatalf("boot %d trial %d: decode: %v", bi, trial, err)
+			}
+			if len(dec) != n {
+				t.Fatalf("boot %d trial %d: %d records, want %d", bi, trial, len(dec), n)
+			}
+			for i := range recs {
+				in, out := &recs[i], &dec[i]
+				if out.Key != in.Key {
+					t.Fatalf("boot %d trial %d record %d: key %v != %v", bi, trial, i, out.Key, in.Key)
+				}
+				if out.Packets != in.Packets || out.Bytes != in.Bytes {
+					t.Fatalf("boot %d trial %d record %d: counters %d/%d != %d/%d",
+						bi, trial, i, out.Packets, out.Bytes, in.Packets, in.Bytes)
+				}
+				if !out.Start.Equal(in.Start) || !out.End.Equal(in.End) {
+					t.Fatalf("boot %d trial %d record %d: times %v/%v != %v/%v (boot %v)",
+						bi, trial, i, out.Start, out.End, in.Start, in.End, boot)
+				}
+				if out.SrcAS != in.SrcAS || out.DstAS != in.DstAS {
+					t.Fatalf("boot %d trial %d record %d: AS %d/%d != %d/%d",
+						bi, trial, i, out.SrcAS, out.DstAS, in.SrcAS, in.DstAS)
+				}
+			}
+		}
+	}
+}
+
+// TestV5UptimeWrapRegression pins the exact bug: a router up 60 days
+// (uptime wrapped once) exporting a flow that started 30 seconds ago.
+// The boot-anchored reconstruction is off by 2^32 ms (~49.7 days); the
+// mod-2^32 delta reconstruction is exact.
+func TestV5UptimeWrapRegression(t *testing.T) {
+	now := time.Date(2018, 12, 19, 12, 0, 0, 0, time.UTC)
+	boot := now.Add(-60 * 24 * time.Hour)
+	start := now.Add(-30 * time.Second)
+	rec := flow.Record{
+		Key: flow.Key{
+			Src: netip.MustParseAddr("192.0.2.1"), Dst: netip.MustParseAddr("198.51.100.9"),
+			SrcPort: 123, DstPort: 40000, Protocol: 17,
+		},
+		Packets: 10, Bytes: 4800,
+		Start: start, End: now.Add(-10 * time.Second),
+	}
+	e := &V5Exporter{BootTime: boot}
+	pkt, err := e.EncodeV5([]flow.Record{rec}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeV5(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Records[0].Start; !got.Equal(start) {
+		t.Fatalf("wrapped-uptime start = %v, want %v (off by %v)", got, start, got.Sub(start))
+	}
+}

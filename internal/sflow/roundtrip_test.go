@@ -1,0 +1,76 @@
+package sflow
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestRoundTripProperty: random samples — including zero and max-uint32
+// sampling metadata and header snippets at every length up to the
+// 128-byte cap — must round-trip exactly through Encode/Decode. Headers
+// are non-empty: a real sampled packet always carries at least its IP
+// header, and the decoder deliberately drops header-less samples.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	now := time.Date(2018, 12, 19, 12, 0, 0, 0, time.UTC)
+	u32 := func() uint32 {
+		switch rng.Intn(3) {
+		case 0:
+			return 0
+		case 1:
+			return math.MaxUint32
+		default:
+			return rng.Uint32()
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(16)
+		samples := make([]Sample, n)
+		for i := range samples {
+			hdr := make([]byte, 1+rng.Intn(MaxHeaderBytes))
+			rng.Read(hdr)
+			samples[i] = Sample{
+				SamplingRate: u32(),
+				SamplePool:   u32(),
+				FrameLength:  u32(),
+				Header:       hdr,
+			}
+		}
+		e := &Exporter{
+			Agent:      netip.AddrFrom4([4]byte{203, 0, 113, byte(trial)}),
+			SubAgentID: rng.Uint32(),
+			BootTime:   now.Add(-time.Duration(rng.Int63n(int64(400 * 24 * time.Hour)))),
+		}
+		pkt, err := e.Encode(samples, now)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		dec, err := Decode(pkt)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if dec.Agent != e.Agent || dec.SubAgentID != e.SubAgentID {
+			t.Fatalf("trial %d: agent %v/%d, want %v/%d", trial, dec.Agent, dec.SubAgentID, e.Agent, e.SubAgentID)
+		}
+		if len(dec.Samples) != n {
+			t.Fatalf("trial %d: %d samples, want %d", trial, len(dec.Samples), n)
+		}
+		for i := range samples {
+			in, out := &samples[i], &dec.Samples[i]
+			if out.SamplingRate != in.SamplingRate || out.SamplePool != in.SamplePool ||
+				out.FrameLength != in.FrameLength {
+				t.Fatalf("trial %d sample %d: metadata %d/%d/%d, want %d/%d/%d", trial, i,
+					out.SamplingRate, out.SamplePool, out.FrameLength,
+					in.SamplingRate, in.SamplePool, in.FrameLength)
+			}
+			if !bytes.Equal(out.Header, in.Header) {
+				t.Fatalf("trial %d sample %d: header mismatch (%d vs %d bytes)",
+					trial, i, len(out.Header), len(in.Header))
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package takedown
+
+import (
+	"time"
+
+	"booterscope/internal/flow"
+	"booterscope/internal/trafficgen"
+)
+
+// Source streams flow records to a visitor. It is the seam between the
+// takedown analyses and where the records come from: a live traffic
+// generator (ScenarioSource), a collector, or a flowstore archive
+// replayed with Scan. Every aggregation below is order-insensitive —
+// integer-valued daily sums and per-key maps — so any delivery order
+// over the same record multiset yields identical results; that is the
+// replay-equals-live guarantee the flowstore relies on.
+type Source func(fn func(*flow.Record) error) error
+
+// ScenarioSource streams one vantage point's records from the live
+// generator, day by day.
+func ScenarioSource(s *trafficgen.Scenario, k trafficgen.Kind) Source {
+	return func(fn func(*flow.Record) error) error {
+		cfg := s.Config()
+		for day := 0; day < cfg.Days; day++ {
+			for _, rec := range s.Day(k, day) {
+				rec := rec
+				if err := fn(&rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Window bounds an analysis: the day grid records are binned onto and
+// the event date tested against it.
+type Window struct {
+	// Start is the first day of the window (UTC midnight).
+	Start time.Time
+	// Days is the window length in days.
+	Days int
+	// Takedown is the event date for the before/after split.
+	Takedown time.Time
+}
+
+// WindowOf extracts the analysis window from a scenario config.
+func WindowOf(cfg trafficgen.Config) Window {
+	return Window{Start: cfg.Start, Days: cfg.Days, Takedown: cfg.Takedown}
+}
+
+// DayTime maps a record start time onto its window day. Trigger records
+// never cross midnight, so this reproduces the generator's day binning
+// exactly when replaying from an archive.
+func (w Window) DayTime(t time.Time) time.Time {
+	const day = 24 * time.Hour
+	return w.Start.Add(t.Sub(w.Start) / day * day)
+}
+
+// DayTimes enumerates the window's day grid.
+func (w Window) DayTimes() []time.Time {
+	out := make([]time.Time, w.Days)
+	for i := range out {
+		out[i] = w.Start.Add(time.Duration(i) * 24 * time.Hour)
+	}
+	return out
+}

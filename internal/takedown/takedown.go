@@ -62,29 +62,49 @@ var ReflectorVectors = []amplify.Vector{amplify.Memcached, amplify.NTP, amplify.
 // Figure4 computes the to-reflector traffic analysis for one vantage
 // point of a scenario.
 func Figure4(s *trafficgen.Scenario, k trafficgen.Kind) ([]Figure4Panel, error) {
-	cfg := s.Config()
+	return Figure4Source(ScenarioSource(s, k), WindowOf(s.Config()), k)
+}
+
+// triggerSeries accumulates daily to-reflector packet sums per vector
+// from a record stream — the shared aggregation behind Figure 4, its
+// robustness ablation, and the direction breakdown. Daily sums are
+// integer-valued float64 additions (each well below 2^53), so they are
+// exact and independent of record order.
+func triggerSeries(src Source, w Window) (map[amplify.Vector]*timeseries.Series, error) {
 	series := make(map[amplify.Vector]*timeseries.Series)
 	for _, v := range ReflectorVectors {
 		series[v] = timeseries.NewDaily()
 	}
-	for day := 0; day < cfg.Days; day++ {
-		dayTime := s.DayTime(day)
-		for _, rec := range s.Day(k, day) {
-			if rec.Protocol != packet.IPProtoUDP {
-				continue
-			}
-			for _, v := range ReflectorVectors {
-				if rec.DstPort == v.Port() {
-					series[v].Add(dayTime, float64(rec.ScaledPackets()))
-					break
-				}
+	err := src(func(rec *flow.Record) error {
+		if rec.Protocol != packet.IPProtoUDP {
+			return nil
+		}
+		for _, v := range ReflectorVectors {
+			if rec.DstPort == v.Port() {
+				series[v].Add(w.DayTime(rec.Start), float64(rec.ScaledPackets()))
+				break
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// Figure4Source computes the Figure 4 panels from any record stream —
+// live generation or a flowstore replay — over the given window. k
+// labels the vantage point in the output.
+func Figure4Source(src Source, w Window, k trafficgen.Kind) ([]Figure4Panel, error) {
+	series, err := triggerSeries(src, w)
+	if err != nil {
+		return nil, err
 	}
 	var out []Figure4Panel
 	for _, v := range ReflectorVectors {
 		label := fmt.Sprintf("packets %v dst port (%v)", v, k)
-		metrics, err := timeseries.AnalyzeTakedown(series[v], cfg.Takedown, label)
+		metrics, err := timeseries.AnalyzeTakedown(series[v], w.Takedown, label)
 		if err != nil {
 			return nil, fmt.Errorf("takedown: %s: %w", label, err)
 		}
@@ -112,26 +132,32 @@ type Figure5Result struct {
 // per hour across the scenario and tests for a reduction at the
 // takedown.
 func Figure5(s *trafficgen.Scenario, k trafficgen.Kind) (*Figure5Result, error) {
-	cfg := s.Config()
+	return Figure5Source(ScenarioSource(s, k), WindowOf(s.Config()), k)
+}
+
+// Figure5Source computes the systems-under-attack analysis from any
+// record stream over the given window. The attack counter is a per-key
+// map aggregation, so the result is independent of record order.
+func Figure5Source(src Source, w Window, k trafficgen.Kind) (*Figure5Result, error) {
 	counter := classify.NewAttackCounter(classify.Config{})
-	for day := 0; day < cfg.Days; day++ {
-		for _, rec := range s.Day(k, day) {
-			rec := rec
-			counter.Add(&rec)
-		}
+	if err := src(func(rec *flow.Record) error {
+		counter.Add(rec)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	hourly := counter.Series()
 
 	daily := timeseries.NewDaily()
-	// Pre-fill every scenario day so attack-free days count as zero.
-	for day := 0; day < cfg.Days; day++ {
-		daily.Add(s.DayTime(day), 0)
+	// Pre-fill every window day so attack-free days count as zero.
+	for _, dayTime := range w.DayTimes() {
+		daily.Add(dayTime, 0)
 	}
 	for _, hp := range hourly {
 		daily.Add(hp.Hour, float64(hp.Count))
 	}
 	label := fmt.Sprintf("systems under NTP attack (%v)", k)
-	metrics, err := timeseries.AnalyzeTakedown(daily, cfg.Takedown, label)
+	metrics, err := timeseries.AnalyzeTakedown(daily, w.Takedown, label)
 	if err != nil {
 		return nil, fmt.Errorf("takedown: %s: %w", label, err)
 	}
@@ -155,32 +181,23 @@ func (r Robustness) Agrees() bool { return r.WelchSig == r.RankSig }
 // Figure4Robustness runs both tests over the ±30-day window for each
 // reflector vector.
 func Figure4Robustness(s *trafficgen.Scenario, k trafficgen.Kind) ([]Robustness, error) {
-	cfg := s.Config()
-	series := make(map[amplify.Vector]*timeseries.Series)
-	for _, v := range ReflectorVectors {
-		series[v] = timeseries.NewDaily()
-	}
-	for day := 0; day < cfg.Days; day++ {
-		dayTime := s.DayTime(day)
-		for _, rec := range s.Day(k, day) {
-			if rec.Protocol != packet.IPProtoUDP {
-				continue
-			}
-			for _, v := range ReflectorVectors {
-				if rec.DstPort == v.Port() {
-					series[v].Add(dayTime, float64(rec.ScaledPackets()))
-					break
-				}
-			}
-		}
+	return Figure4RobustnessSource(ScenarioSource(s, k), WindowOf(s.Config()))
+}
+
+// Figure4RobustnessSource runs the parametric/non-parametric comparison
+// from any record stream.
+func Figure4RobustnessSource(src Source, w Window) ([]Robustness, error) {
+	series, err := triggerSeries(src, w)
+	if err != nil {
+		return nil, err
 	}
 	var out []Robustness
 	for _, v := range ReflectorVectors {
-		welch, err := timeseries.AnalyzeEvent(series[v], cfg.Takedown, 30)
+		welch, err := timeseries.AnalyzeEvent(series[v], w.Takedown, 30)
 		if err != nil {
 			return nil, fmt.Errorf("takedown: robustness welch %v: %w", v, err)
 		}
-		rank, err := timeseries.AnalyzeEventRank(series[v], cfg.Takedown, 30)
+		rank, err := timeseries.AnalyzeEventRank(series[v], w.Takedown, 30)
 		if err != nil {
 			return nil, fmt.Errorf("takedown: robustness rank %v: %w", v, err)
 		}
@@ -199,18 +216,23 @@ func Figure4Robustness(s *trafficgen.Scenario, k trafficgen.Kind) ([]Robustness,
 // port/direction combinations; the tier-2 ISP contributes both
 // directions).
 func DirectionBreakdown(s *trafficgen.Scenario, k trafficgen.Kind, v amplify.Vector) (map[flow.Direction]timeseries.TakedownMetrics, error) {
-	cfg := s.Config()
+	return DirectionBreakdownSource(ScenarioSource(s, k), WindowOf(s.Config()), k, v)
+}
+
+// DirectionBreakdownSource computes the per-direction metrics from any
+// record stream.
+func DirectionBreakdownSource(src Source, w Window, k trafficgen.Kind, v amplify.Vector) (map[flow.Direction]timeseries.TakedownMetrics, error) {
 	series := map[flow.Direction]*timeseries.Series{
 		flow.Ingress: timeseries.NewDaily(),
 		flow.Egress:  timeseries.NewDaily(),
 	}
-	for day := 0; day < cfg.Days; day++ {
-		dayTime := s.DayTime(day)
-		for _, rec := range s.Day(k, day) {
-			if rec.Protocol == packet.IPProtoUDP && rec.DstPort == v.Port() {
-				series[rec.Direction].Add(dayTime, float64(rec.ScaledPackets()))
-			}
+	if err := src(func(rec *flow.Record) error {
+		if rec.Protocol == packet.IPProtoUDP && rec.DstPort == v.Port() {
+			series[rec.Direction].Add(w.DayTime(rec.Start), float64(rec.ScaledPackets()))
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	out := make(map[flow.Direction]timeseries.TakedownMetrics, 2)
 	for dir, ser := range series {
@@ -218,7 +240,7 @@ func DirectionBreakdown(s *trafficgen.Scenario, k trafficgen.Kind, v amplify.Vec
 			continue
 		}
 		label := fmt.Sprintf("packets %v dst port %v (%v)", v, dir, k)
-		metrics, err := timeseries.AnalyzeTakedown(ser, cfg.Takedown, label)
+		metrics, err := timeseries.AnalyzeTakedown(ser, w.Takedown, label)
 		if err != nil {
 			return nil, fmt.Errorf("takedown: %s: %w", label, err)
 		}

@@ -13,7 +13,19 @@ cd "$(dirname "$0")/.."
 
 EXEMPT="internal/telemetry"
 
+# Packages whose registry wiring is load-bearing for operability —
+# they must define RegisterTelemetry even if the accessor heuristic
+# below would miss them. The flow archive is required: silent loss of
+# store accounting would hide dropped batches under fault injection.
+REQUIRED="internal/flowstore"
+
 fail=0
+for dir in $REQUIRED; do
+    if ! grep -q 'func.*RegisterTelemetry' "$dir"/*.go 2>/dev/null; then
+        echo "lint-telemetry: $dir must expose its accounting via RegisterTelemetry" >&2
+        fail=1
+    fi
+done
 for dir in internal/*/; do
     dir=${dir%/}
     case " $EXEMPT " in
