@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint crash-recovery demo demo-lossy
+.PHONY: build test check race lint crash-recovery race-pipeline bench demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,23 @@ race:
 	$(GO) test -race ./...
 
 # check is the pre-merge gate: static analysis, lint, the flow-archive
-# crash-recovery scenario, plus the full suite under the race detector.
-check: lint crash-recovery
+# crash-recovery scenario, the sharded-pipeline race scenario, plus the
+# full suite under the race detector.
+check: lint crash-recovery race-pipeline
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# race-pipeline drives the fan-out/merge machinery and the sharded
+# classifier under the race detector with the test cache defeated, so
+# the gate always exercises the cross-goroutine batch handoff.
+race-pipeline:
+	$(GO) test -race ./internal/pipe ./internal/classify -run 'TestFanOut|TestRun|TestSharded' -count=1
+
+# bench compares the legacy serial replay against the batch pipeline
+# at parallelism=4 and writes the machine-readable artifact consumed
+# by the PR gate (records/s per path plus the speedup ratio).
+bench:
+	BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test ./internal/core -run TestWriteBenchArtifact -count=1 -v
 
 # crash-recovery replays the torn-segment scenario end to end: injected
 # write faults, a manually torn tail, and a reopen that must adopt every

@@ -30,6 +30,7 @@ import (
 	"booterscope/internal/flow"
 	"booterscope/internal/flowstore"
 	"booterscope/internal/ipfix"
+	"booterscope/internal/pipe"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/trafficgen"
@@ -48,6 +49,7 @@ func main() {
 		chaosSeed = flag.Uint64("chaosseed", 7, "fault injection seed")
 		dashEvery = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
 		storeDir  = flag.String("store.dir", "", "persist decoded flow records into a flowstore archive at this directory")
+		par       = flag.Int("parallelism", 0, "detection pipeline shard count: 0 = NumCPU, 1 = serial (alerts identical)")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -61,8 +63,19 @@ func main() {
 
 	reg := telemetry.Default()
 	col.RegisterTelemetry(reg)
-	monitor := classify.NewMonitor(classify.Config{})
+	pipe.RegisterTelemetry(reg)
+
+	// Live detection runs on the batch pipeline: decoded records fan out
+	// by victim hash to one monitor shard per worker, with watermark
+	// stamping keeping eviction identical to a serial monitor.
+	var alerts atomic.Int64
+	monitor := classify.NewShardedMonitor(classify.Config{}, pipe.Parallelism(*par))
 	monitor.RegisterTelemetry(reg)
+	monitor.OnAlert = func(a classify.Alert) {
+		alerts.Add(1)
+		fmt.Println(a)
+	}
+	fan := monitor.FanOut()
 
 	var store *flowstore.Store
 	if *storeDir != "" {
@@ -94,7 +107,7 @@ func main() {
 		defer dash.Stop()
 	}
 
-	var records, alerts atomic.Int64
+	var records atomic.Int64
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -107,11 +120,12 @@ func main() {
 					log.Printf("store append: %v", err)
 				}
 			}
-			for i := range recs {
-				if a := monitor.Add(&recs[i]); a != nil {
-					alerts.Add(1)
-					fmt.Println(a)
-				}
+			// The fan-out copies records into per-shard slabs, so the
+			// decoder may reuse recs as soon as Process returns. A
+			// stack batch keeps the decoder's slice out of the pool.
+			b := pipe.Batch{Recs: recs}
+			if err := fan.Process(&b); err != nil {
+				log.Printf("detection pipeline: %v", err)
 			}
 		})
 		if err != nil {
@@ -150,6 +164,9 @@ func main() {
 		drain(&records)
 		col.Close()
 		<-done
+		if err := fan.Close(); err != nil {
+			log.Printf("detection pipeline close: %v", err)
+		}
 		fmt.Printf("demo complete: %d records collected, %d alerts raised\n",
 			records.Load(), alerts.Load())
 		if proxy != nil {
@@ -176,6 +193,9 @@ func main() {
 	<-sig
 	col.Close()
 	<-done
+	if err := fan.Close(); err != nil {
+		log.Printf("detection pipeline close: %v", err)
+	}
 	fmt.Printf("shutting down: %d records collected, %d alerts raised\n",
 		records.Load(), alerts.Load())
 	report(col, monitor)
@@ -225,7 +245,7 @@ func drain(records *atomic.Int64) {
 }
 
 // report prints the collector and monitor accounting snapshots.
-func report(col *ipfix.Collector, monitor *classify.Monitor) {
+func report(col *ipfix.Collector, monitor *classify.ShardedMonitor) {
 	s := col.Stats()
 	fmt.Printf("collector: %s\n", col.Health())
 	fmt.Printf("  %d messages, %d bytes, %d records, %d shed, %d decode errors, %d without template\n",

@@ -16,6 +16,7 @@ import (
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
 	"booterscope/internal/flowstore"
+	"booterscope/internal/pipe"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/textplot"
@@ -30,6 +31,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.5, "traffic scale factor")
 		days     = flag.Int("days", 30, "days of traffic to analyze")
 		storeDir = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
+		par      = flag.Int("parallelism", 0, "pipeline shard count: 0 = NumCPU, 1 = serial (results identical)")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -37,6 +39,7 @@ func main() {
 	reg := telemetry.Default()
 	flow.RegisterTelemetry(reg)
 	flowstore.RegisterTelemetry(reg)
+	pipe.RegisterTelemetry(reg)
 	srv, err := debugserver.Start(*debugAddr, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -56,6 +59,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer replay.Close()
+		replay.Parallelism = *par
 		fmt.Printf("replaying %d-day archive %s\n", replay.Window().Days, *storeDir)
 		if replay.Store(trafficgen.KindIXP) != nil {
 			if dist, err = replay.Figure2a(); err != nil {
@@ -68,7 +72,7 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		study := core.NewLandscapeStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
+		study := core.NewLandscapeStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days, Parallelism: *par})
 		dist = study.Figure2a()
 		vantages = study.AllVantages()
 	}

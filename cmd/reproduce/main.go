@@ -36,6 +36,9 @@ type check struct {
 
 type harness struct {
 	checks []check
+	// par is the pipeline shard count for the record analyses (0 =
+	// NumCPU); results are identical at any setting.
+	par int
 }
 
 func (h *harness) add(id, claim string, ok bool, format string, args ...any) {
@@ -48,6 +51,7 @@ func main() {
 	var (
 		seed  = flag.Uint64("seed", 1, "random seed")
 		scale = flag.Float64("scale", 0.3, "traffic scale for landscape/takedown studies")
+		par   = flag.Int("parallelism", 0, "pipeline shard count: 0 = NumCPU, 1 = serial (results identical)")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -66,7 +70,7 @@ func main() {
 		fmt.Printf("debug surface on http://%s/ (metrics, pprof)\n", srv.Addr())
 	}
 
-	var h harness
+	h := harness{par: *par}
 	h.selfAttack(*seed)
 	h.landscape(*seed, *scale)
 	h.takedown(*seed, *scale)
@@ -215,7 +219,7 @@ func (h *harness) selfAttack(seed uint64) {
 }
 
 func (h *harness) landscape(seed uint64, scale float64) {
-	study := core.NewLandscapeStudy(core.Options{Seed: seed, Scale: scale, Days: 30})
+	study := core.NewLandscapeStudy(core.Options{Seed: seed, Scale: scale, Days: 30, Parallelism: h.par})
 
 	dist := study.Figure2a()
 	h.add("Fig2a", "NTP packet sizes bimodal around the 200 B threshold",
@@ -249,7 +253,7 @@ func (h *harness) landscape(seed uint64, scale float64) {
 }
 
 func (h *harness) takedown(seed uint64, scale float64) {
-	study := core.NewTakedownStudy(core.Options{Seed: seed, Scale: scale})
+	study := core.NewTakedownStudy(core.Options{Seed: seed, Scale: scale, Parallelism: h.par})
 	panels, err := study.Figure4(trafficgen.KindTier2)
 	if err != nil {
 		log.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
 	"booterscope/internal/flowstore"
+	"booterscope/internal/pipe"
 	"booterscope/internal/takedown"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
@@ -33,6 +34,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.5, "traffic scale factor")
 		days     = flag.Int("days", 122, "days of traffic (122 spans the seizure ±~60 days)")
 		storeDir = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
+		par      = flag.Int("parallelism", 0, "pipeline shard count: 0 = NumCPU, 1 = serial (results identical)")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -40,6 +42,7 @@ func main() {
 	reg := telemetry.Default()
 	flow.RegisterTelemetry(reg)
 	flowstore.RegisterTelemetry(reg)
+	pipe.RegisterTelemetry(reg)
 	srv, err := debugserver.Start(*debugAddr, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -62,6 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer replay.Close()
+		replay.Parallelism = *par
 		event = replay.Event
 		kinds = replay.Kinds()
 		w := replay.Window()
@@ -73,7 +77,7 @@ func main() {
 		}
 		fig5For = replay.Figure5
 	} else {
-		study := core.NewTakedownStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days})
+		study := core.NewTakedownStudy(core.Options{Seed: *seed, Scale: *scale, Days: *days, Parallelism: *par})
 		event = study.Event
 		kinds = []trafficgen.Kind{trafficgen.KindIXP, trafficgen.KindTier1, trafficgen.KindTier2}
 		fig4, err = study.Figure4All()

@@ -90,6 +90,17 @@ func (c *Classifier) Add(r *flow.Record) bool {
 // vantage points).
 func (c *Classifier) Destinations() int { return c.perDest.Len() }
 
+// Merge folds another classifier's accumulated state into c; other
+// must not be used afterwards. With destination-disjoint shards (the
+// pipeline's victim-hash routing) the merged victim summaries equal a
+// serial pass exactly.
+func (c *Classifier) Merge(other *Classifier) {
+	if other == nil {
+		return
+	}
+	c.perDest.Merge(other.perDest)
+}
+
 // Victim is one destination's attack profile (the axes of Figures 2(b)
 // and 2(c)).
 type Victim struct {
@@ -192,27 +203,39 @@ func (c *Classifier) FilterStats() FilterStats {
 // rules.
 type AttackCounter struct {
 	cfg Config
-	// hours maps hour start -> set of victims.
-	hours map[int64]map[netip.Addr]struct{}
+	// hours maps hour start -> set of victims. Keys are flat 16-byte
+	// addresses rather than netip.Addr: the counter sits on the
+	// per-record hot path, and pointer-free keys keep the maps out of
+	// both the write barrier and the garbage collector's scan.
+	hours map[int64]map[[16]byte]struct{}
 	// minuteState tracks per (dest, minute) aggregates.
 	minutes map[minuteKey]*minuteAgg
+	// lastKey/lastAgg memoize the most recent minute bin: attack
+	// records arrive in per-victim bursts, so consecutive records
+	// usually hit the same (dst, minute) and skip the map lookup.
+	lastKey minuteKey
+	lastAgg *minuteAgg
 }
 
 type minuteKey struct {
-	dst    netip.Addr
+	dst    [16]byte
 	minute int64
 }
 
 type minuteAgg struct {
 	bytes   uint64
-	sources map[netip.Addr]struct{}
+	sources map[[16]byte]struct{}
+	// counted: this minute already crossed the thresholds and its
+	// (hour, dst) entry is recorded — later records in the same minute
+	// can skip the threshold math, since hour membership never retracts.
+	counted bool
 }
 
 // NewAttackCounter returns an empty counter.
 func NewAttackCounter(cfg Config) *AttackCounter {
 	return &AttackCounter{
 		cfg:     cfg.withDefaults(),
-		hours:   make(map[int64]map[netip.Addr]struct{}),
+		hours:   make(map[int64]map[[16]byte]struct{}),
 		minutes: make(map[minuteKey]*minuteAgg),
 	}
 }
@@ -220,28 +243,93 @@ func NewAttackCounter(cfg Config) *AttackCounter {
 // Add feeds one record (applying the optimistic pre-filter) and updates
 // the hour buckets.
 func (a *AttackCounter) Add(r *flow.Record) {
-	if !IsAmplifiedNTP(r, a.cfg) {
+	// a.cfg is already defaulted (NewAttackCounter), so apply the
+	// amplified-NTP predicate directly instead of re-deriving defaults
+	// per record through IsAmplifiedNTP.
+	if !IsNTPFlow(r) || r.AvgPacketSize() <= a.cfg.SizeThreshold {
 		return
 	}
-	minute := r.Start.UTC().Truncate(time.Minute)
-	key := minuteKey{dst: r.Dst, minute: minute.Unix()}
-	agg, ok := a.minutes[key]
-	if !ok {
-		agg = &minuteAgg{sources: make(map[netip.Addr]struct{})}
-		a.minutes[key] = agg
+	// Truncate in unix-seconds arithmetic: equivalent to
+	// Start.UTC().Truncate(time.Minute) for the study's post-1970
+	// timestamps and far cheaper on the per-record path.
+	minute := r.Start.Unix()
+	minute -= minute % 60
+	key := minuteKey{dst: r.Dst.As16(), minute: minute}
+	agg := a.lastAgg
+	if agg == nil || key != a.lastKey {
+		var ok bool
+		agg, ok = a.minutes[key]
+		if !ok {
+			agg = &minuteAgg{sources: make(map[[16]byte]struct{})}
+			a.minutes[key] = agg
+		}
+		a.lastKey, a.lastAgg = key, agg
 	}
 	agg.bytes += r.ScaledBytes()
-	agg.sources[r.Src] = struct{}{}
+	src := r.Src.As16()
+	if _, seen := agg.sources[src]; !seen {
+		agg.sources[src] = struct{}{}
+	}
+	if agg.counted {
+		return
+	}
 
 	rate := float64(agg.bytes) * 8 / 60
 	if rate > a.cfg.MinRateBps && len(agg.sources) > a.cfg.MinSources {
-		hour := minute.Truncate(time.Hour).Unix()
+		hour := minute - minute%3600
 		set, ok := a.hours[hour]
 		if !ok {
-			set = make(map[netip.Addr]struct{})
+			set = make(map[[16]byte]struct{})
 			a.hours[hour] = set
 		}
-		set[r.Dst] = struct{}{}
+		set[key.dst] = struct{}{}
+		agg.counted = true
+	}
+}
+
+// Merge folds another counter's state into a; other must not be used
+// afterwards. Hour sets union; fused minute bins are re-checked
+// against the thresholds, which is exact because bytes and source
+// counts only grow — a minute that crossed the thresholds at any
+// intermediate point in a serial run also crosses them in its final
+// merged state.
+func (a *AttackCounter) Merge(other *AttackCounter) {
+	if other == nil {
+		return
+	}
+	for k, oagg := range other.minutes {
+		agg, ok := a.minutes[k]
+		if !ok {
+			a.minutes[k] = oagg
+			continue
+		}
+		agg.bytes += oagg.bytes
+		for s := range oagg.sources {
+			agg.sources[s] = struct{}{}
+		}
+	}
+	for hour, oset := range other.hours {
+		set, ok := a.hours[hour]
+		if !ok {
+			a.hours[hour] = oset
+			continue
+		}
+		for d := range oset {
+			set[d] = struct{}{}
+		}
+	}
+	for k := range other.minutes {
+		agg := a.minutes[k]
+		rate := float64(agg.bytes) * 8 / 60
+		if rate > a.cfg.MinRateBps && len(agg.sources) > a.cfg.MinSources {
+			hour := k.minute - k.minute%3600
+			set, ok := a.hours[hour]
+			if !ok {
+				set = make(map[[16]byte]struct{})
+				a.hours[hour] = set
+			}
+			set[k.dst] = struct{}{}
+		}
 	}
 }
 

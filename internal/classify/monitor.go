@@ -112,7 +112,7 @@ type Monitor struct {
 	minutes map[minuteKey]*monAgg
 	alerted map[netip.Addr]time.Time
 	latest  time.Time
-	m       monitorMetrics
+	m       *monitorMetrics
 }
 
 // monitorMetrics are the monitor's accounting counters as telemetry
@@ -133,8 +133,29 @@ type monitorMetrics struct {
 	occupancy *telemetry.Gauge
 }
 
+func newMonitorMetrics() *monitorMetrics {
+	return &monitorMetrics{
+		records:    telemetry.NewCounter(),
+		matched:    telemetry.NewCounter(),
+		alerts:     telemetry.NewCounter(),
+		rejected:   telemetry.NewCounter(),
+		evicted:    telemetry.NewCounter(),
+		overflows:  telemetry.NewCounter(),
+		detections: telemetry.NewCounterVec("protocol").SetMaxCardinality(16),
+		occupancy:  telemetry.NewGauge(),
+	}
+}
+
 // NewMonitor returns an empty streaming detector.
 func NewMonitor(cfg Config) *Monitor {
+	return newMonitorWith(cfg, newMonitorMetrics())
+}
+
+// newMonitorWith builds a monitor over an existing metrics struct —
+// the sharded monitor hands every shard the same one, so counters and
+// the (additively maintained) occupancy gauge aggregate across shards
+// without a merge step.
+func newMonitorWith(cfg Config, m *monitorMetrics) *Monitor {
 	return &Monitor{
 		cfg:              cfg.withDefaults(),
 		Retention:        10 * time.Minute,
@@ -143,16 +164,7 @@ func NewMonitor(cfg Config) *Monitor {
 		MaxSourcesPerBin: DefaultMaxSourcesPerBin,
 		minutes:          make(map[minuteKey]*monAgg),
 		alerted:          make(map[netip.Addr]time.Time),
-		m: monitorMetrics{
-			records:    telemetry.NewCounter(),
-			matched:    telemetry.NewCounter(),
-			alerts:     telemetry.NewCounter(),
-			rejected:   telemetry.NewCounter(),
-			evicted:    telemetry.NewCounter(),
-			overflows:  telemetry.NewCounter(),
-			detections: telemetry.NewCounterVec("protocol").SetMaxCardinality(16),
-			occupancy:  telemetry.NewGauge(),
-		},
+		m:                m,
 	}
 }
 
@@ -214,6 +226,28 @@ func (m *Monitor) maxSourcesPerBin() int {
 // Add consumes one record and returns an alert if its victim just
 // crossed the thresholds (nil otherwise).
 func (m *Monitor) Add(r *flow.Record) *Alert {
+	return m.AddAt(r, r.Start.Unix())
+}
+
+// AdvanceTo moves the eviction clock to the minute containing unixSec
+// without consuming a record (no-op when the clock is already there or
+// beyond). The sharded monitor uses it to replay the global stream
+// clock on shards that only saw a subset of records.
+func (m *Monitor) AdvanceTo(unixSec int64) {
+	wm := time.Unix(unixSec, 0).UTC().Truncate(time.Minute)
+	if wm.After(m.latest) {
+		m.latest = wm
+		m.evict()
+	}
+}
+
+// AddAt consumes one record with an explicit clock: watermarkUnix is
+// the maximum start time (unix seconds) over every filter-matched
+// record the whole stream has produced so far. In serial use the
+// record is its own watermark (Add); a sharded run stamps the global
+// prefix-max instead, which makes each shard advance, evict, and prune
+// at exactly the points the serial monitor would have.
+func (m *Monitor) AddAt(r *flow.Record, watermarkUnix int64) *Alert {
 	m.m.records.Inc()
 	if proto := m.detectProtocol(r); proto != "" {
 		m.m.detections.With(proto).Inc()
@@ -223,11 +257,8 @@ func (m *Monitor) Add(r *flow.Record) *Alert {
 	}
 	m.m.matched.Inc()
 	minute := r.Start.UTC().Truncate(time.Minute)
-	if minute.After(m.latest) {
-		m.latest = minute
-		m.evict()
-	}
-	key := minuteKey{dst: r.Dst, minute: minute.Unix()}
+	m.AdvanceTo(watermarkUnix)
+	key := minuteKey{dst: r.Dst.As16(), minute: minute.Unix()}
 	agg, ok := m.minutes[key]
 	if !ok {
 		if len(m.minutes) >= m.maxMinutes() {
@@ -241,7 +272,7 @@ func (m *Monitor) Add(r *flow.Record) *Alert {
 		}
 		agg = &monAgg{sources: flow.NewSourceSet(m.maxSourcesPerBin())}
 		m.minutes[key] = agg
-		m.m.occupancy.Set(float64(len(m.minutes)))
+		m.m.occupancy.Add(1)
 	}
 	agg.bytes += r.ScaledBytes()
 	if !agg.sources.Add(r.Src) {
@@ -269,13 +300,17 @@ func (m *Monitor) Add(r *flow.Record) *Alert {
 // markers.
 func (m *Monitor) evict() {
 	horizon := m.latest.Add(-m.Retention).Unix()
+	var dropped int
 	for key := range m.minutes {
 		if key.minute < horizon {
 			delete(m.minutes, key)
 			m.m.evicted.Inc()
+			dropped++
 		}
 	}
-	m.m.occupancy.Set(float64(len(m.minutes)))
+	// Maintained additively (not Set(len)) so shards sharing one
+	// metrics struct sum to the total table occupancy.
+	m.m.occupancy.Add(-float64(dropped))
 	alertHorizon := m.latest.Add(-2 * m.ReAlertAfter)
 	for victim, last := range m.alerted {
 		if last.Before(alertHorizon) {

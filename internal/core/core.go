@@ -18,6 +18,8 @@ package core
 
 import (
 	"time"
+
+	"booterscope/internal/pipe"
 )
 
 // Defaults shared by the studies.
@@ -46,6 +48,12 @@ type Options struct {
 	Scale float64
 	// Days is the traffic window length (default 122, the paper's).
 	Days int
+	// Parallelism is the shard count the record analyses fan out to on
+	// the batch pipeline (internal/pipe): 0 resolves to runtime.NumCPU,
+	// 1 runs serially. Every aggregation merges exactly, so results are
+	// byte-identical at any setting — this is the value behind the
+	// studies' shared -parallelism flag.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -55,5 +63,6 @@ func (o Options) withDefaults() Options {
 	if o.Days == 0 {
 		o.Days = 122
 	}
+	o.Parallelism = pipe.Parallelism(o.Parallelism)
 	return o
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"booterscope/internal/classify"
-	"booterscope/internal/flow"
+	"booterscope/internal/pipe"
 	"booterscope/internal/stats"
 	"booterscope/internal/takedown"
 	"booterscope/internal/trafficgen"
@@ -38,17 +38,27 @@ func NewLandscapeStudy(opts Options) *LandscapeStudy {
 // the landscape analogue of takedown.ScenarioSource, bounded by
 // WindowDays instead of the scenario length.
 func (l *LandscapeStudy) source(k trafficgen.Kind) takedown.Source {
-	return func(fn func(*flow.Record) error) error {
+	return func(emit func(*pipe.Batch) error) error {
 		for day := 0; day < l.WindowDays; day++ {
-			for _, rec := range l.Scenario.Day(k, day) {
-				rec := rec
-				if err := fn(&rec); err != nil {
-					return err
-				}
+			if err := emit(pipe.Wrap(l.Scenario.Day(k, day))); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
+}
+
+// runSharded drives src through par victim-hashed shard stages built
+// by mk — the core-side twin of the takedown package's pipeline driver.
+func runSharded(src takedown.Source, par int, mk func() pipe.Stage) error {
+	if par < 1 {
+		par = 1
+	}
+	stages := make([]pipe.Stage, par)
+	for i := range stages {
+		stages[i] = mk()
+	}
+	return pipe.RunSharded(pipe.Source(src), pipe.KeyDst, stages...)
 }
 
 // PacketSizeDistribution is the Figure 2(a) data: the NTP packet size
@@ -61,27 +71,53 @@ type PacketSizeDistribution struct {
 
 // Figure2a builds the NTP packet size distribution from the IXP view.
 func (l *LandscapeStudy) Figure2a() *PacketSizeDistribution {
-	d, _ := figure2aSource(l.source(trafficgen.KindIXP)) // live source never errors
+	// The live source never errors.
+	d, _ := figure2aSource(l.source(trafficgen.KindIXP), l.opts.Parallelism)
 	return d
 }
 
-// figure2aSource accumulates the packet size distribution from any
-// record stream — live generation or a flowstore replay. Histogram adds
-// are commutative, so the result is independent of record order.
-func figure2aSource(src takedown.Source) (*PacketSizeDistribution, error) {
-	h := stats.NewHistogram(0, 1500, 75) // 20-byte bins
-	err := src(func(rec *flow.Record) error {
+// histStage accumulates one shard's NTP packet size histogram. Bin
+// counts are integer adds, so the shard merge is exact under any
+// routing and delivery order.
+type histStage struct {
+	into *stats.Histogram
+	h    *stats.Histogram
+}
+
+func newHistStage(into *stats.Histogram) *histStage {
+	return &histStage{into: into, h: stats.NewHistogram(0, 1500, 75)}
+}
+
+// Process implements pipe.Stage.
+func (s *histStage) Process(b *pipe.Batch) error {
+	for i := range b.Recs {
+		rec := &b.Recs[i]
 		if rec.SrcPort != classify.NTPPort && rec.DstPort != classify.NTPPort {
-			return nil
+			continue
 		}
 		size := rec.AvgPacketSize()
-		for i := uint64(0); i < rec.ScaledPackets(); i += 10000 {
+		for p := uint64(0); p < rec.ScaledPackets(); p += 10000 {
 			// Add in sampled strides to bound cost; the histogram
 			// is a distribution, absolute counts do not matter.
-			h.Add(size)
+			s.h.Add(size)
 		}
-		return nil
-	})
+	}
+	return nil
+}
+
+// Close implements pipe.Stage: the exact shard merge.
+func (s *histStage) Close() error {
+	s.into.Merge(s.h)
+	return nil
+}
+
+// figure2aSource accumulates the packet size distribution from any
+// record stream — live generation or a flowstore replay — sharded par
+// ways. Histogram adds are commutative, so the result is independent
+// of record order and shard count.
+func figure2aSource(src takedown.Source, par int) (*PacketSizeDistribution, error) {
+	h := stats.NewHistogram(0, 1500, 75) // 20-byte bins
+	err := runSharded(src, par, func() pipe.Stage { return newHistStage(h) })
 	if err != nil {
 		return nil, err
 	}
@@ -116,20 +152,44 @@ func (v *VantageVictims) MaxGbps() float64 {
 
 // Figure2bc classifies NTP amplification victims at one vantage point.
 func (l *LandscapeStudy) Figure2bc(k trafficgen.Kind) *VantageVictims {
-	v, _ := figure2bcSource(l.source(k), k) // live source never errors
+	// The live source never errors.
+	v, _ := figure2bcSource(l.source(k), k, l.opts.Parallelism)
 	return v
 }
 
-// figure2bcSource classifies victims from any record stream. The
-// classifier is built on per-destination maps of minute maxima and the
-// victim sort breaks ties by address, so any delivery order over the
-// same record multiset yields identical results.
-func figure2bcSource(src takedown.Source, k trafficgen.Kind) (*VantageVictims, error) {
+// classifyStage accumulates one shard's victim classification. The
+// victim-hash fan-out keeps each destination on one shard, so the
+// per-destination map merge in Close is exact.
+type classifyStage struct {
+	into *classify.Classifier
+	c    *classify.Classifier
+}
+
+func newClassifyStage(into *classify.Classifier) *classifyStage {
+	return &classifyStage{into: into, c: classify.New(classify.Config{})}
+}
+
+// Process implements pipe.Stage.
+func (s *classifyStage) Process(b *pipe.Batch) error {
+	for i := range b.Recs {
+		s.c.Add(&b.Recs[i])
+	}
+	return nil
+}
+
+// Close implements pipe.Stage: the exact shard merge.
+func (s *classifyStage) Close() error {
+	s.into.Merge(s.c)
+	return nil
+}
+
+// figure2bcSource classifies victims from any record stream, sharded
+// par ways. The classifier is built on per-destination maps of minute
+// maxima and the victim sort breaks ties by address, so any delivery
+// order over the same record multiset yields identical results.
+func figure2bcSource(src takedown.Source, k trafficgen.Kind, par int) (*VantageVictims, error) {
 	c := classify.New(classify.Config{})
-	if err := src(func(rec *flow.Record) error {
-		c.Add(rec)
-		return nil
-	}); err != nil {
+	if err := runSharded(src, par, func() pipe.Stage { return newClassifyStage(c) }); err != nil {
 		return nil, err
 	}
 	victims := c.Victims()

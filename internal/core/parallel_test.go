@@ -1,0 +1,104 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"booterscope/internal/flowstore"
+	"booterscope/internal/takedown"
+	"booterscope/internal/trafficgen"
+)
+
+// golden parallelism settings: serial, a fixed multi-shard count, and
+// whatever the host has.
+func goldenPars() []int {
+	pars := []int{4, runtime.NumCPU()}
+	if pars[1] == pars[0] {
+		pars = pars[:1]
+	}
+	return pars
+}
+
+// TestParallelismGolden is the pipeline's acceptance criterion: every
+// analysis fanned out across shards must be byte-identical to the
+// serial run — live generation, single-pass Analyze, and archive
+// replay alike, at parallelism 1, 4, and NumCPU.
+func TestParallelismGolden(t *testing.T) {
+	cfg := trafficgen.Config{
+		Start:    TakedownDate.Add(-15 * 24 * time.Hour),
+		Days:     30,
+		Takedown: TakedownDate,
+		Seed:     5,
+		Scale:    0.15,
+	}
+	scen := trafficgen.NewScenario(cfg)
+	k := trafficgen.KindTier2
+	w := takedown.WindowOf(cfg)
+	src := takedown.ScenarioSource(scen, k)
+
+	want, err := takedown.Analyze(src, w, k, 1)
+	if err != nil {
+		t.Fatalf("serial analyze: %v", err)
+	}
+	if len(want.Figure4) == 0 || len(want.Figure5.Hourly) == 0 {
+		t.Fatal("serial reference is degenerate")
+	}
+	for _, par := range goldenPars() {
+		got, err := takedown.Analyze(src, w, k, par)
+		if err != nil {
+			t.Fatalf("analyze par=%d: %v", par, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("analyze par=%d diverges from serial", par)
+		}
+	}
+
+	// Replay from an archive: ScanBatches delivery order depends on
+	// shard scheduling, so this also pins order-insensitivity.
+	dir := t.TempDir()
+	study := &TakedownStudy{Scenario: scen, Event: takedown.FBITakedown}
+	if err := study.WriteArchive(dir, flowstore.Options{NoSync: true}, k); err != nil {
+		t.Fatalf("write archive: %v", err)
+	}
+	replay, err := OpenReplay(dir)
+	if err != nil {
+		t.Fatalf("open replay: %v", err)
+	}
+	defer replay.Close()
+	for _, par := range append([]int{1}, goldenPars()...) {
+		replay.Parallelism = par
+		got, err := replay.Analyze(k)
+		if err != nil {
+			t.Fatalf("replay analyze par=%d: %v", par, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("replay analyze par=%d diverges from serial live run", par)
+		}
+	}
+}
+
+// TestLandscapeParallelismGolden: the landscape aggregations (packet
+// size histogram, victim classification) must be identical at any
+// shard count.
+func TestLandscapeParallelismGolden(t *testing.T) {
+	mk := func(par int) *LandscapeStudy {
+		return NewLandscapeStudy(Options{Seed: 5, Scale: 0.2, Days: 7, Parallelism: par})
+	}
+	serial := mk(1)
+	wantDist := serial.Figure2a()
+	wantVictims := serial.Figure2bc(trafficgen.KindTier2)
+	if wantDist.Histogram.Total() == 0 || len(wantVictims.Victims) == 0 {
+		t.Fatal("serial reference is degenerate")
+	}
+	for _, par := range goldenPars() {
+		l := mk(par)
+		if got := l.Figure2a(); !reflect.DeepEqual(wantDist, got) {
+			t.Errorf("figure2a par=%d diverges from serial", par)
+		}
+		if got := l.Figure2bc(trafficgen.KindTier2); !reflect.DeepEqual(wantVictims, got) {
+			t.Errorf("figure2bc par=%d diverges from serial", par)
+		}
+	}
+}

@@ -7,9 +7,10 @@ import (
 	"strconv"
 	"time"
 
-	"booterscope/internal/flow"
+	"booterscope/internal/classify"
 	"booterscope/internal/flowstore"
 	"booterscope/internal/packet"
+	"booterscope/internal/pipe"
 	"booterscope/internal/takedown"
 	"booterscope/internal/trafficgen"
 )
@@ -88,7 +89,14 @@ type ReplayStudy struct {
 	dir    string
 	window takedown.Window
 	stores map[trafficgen.Kind]*flowstore.Store
+	// Parallelism is the pipeline shard count the replayed analyses fan
+	// out to: 0 resolves to runtime.NumCPU, 1 runs serially. Results
+	// are byte-identical at any setting.
+	Parallelism int
 }
+
+// par resolves the study's pipeline shard count.
+func (r *ReplayStudy) par() int { return pipe.Parallelism(r.Parallelism) }
 
 // OpenReplay opens the archive at dir (written by WriteArchive or
 // cmd/flowgen -out). At least one vantage store must be present; the
@@ -161,15 +169,18 @@ func (r *ReplayStudy) Kinds() []trafficgen.Kind {
 // Store exposes one vantage's archive (nil when absent).
 func (r *ReplayStudy) Store(k trafficgen.Kind) *flowstore.Store { return r.stores[k] }
 
-// source adapts one vantage store to a takedown record stream, letting
-// the sparse indexes prune with the given query.
+// source adapts one vantage store to a takedown batch stream, letting
+// the sparse indexes prune with the given query. ScanBatches feeds the
+// pipeline straight from the shard scanners — no k-way time-ordered
+// funnel — which is sound because every replayed aggregation is
+// order-insensitive over the record multiset.
 func (r *ReplayStudy) source(k trafficgen.Kind, q flowstore.Query) (takedown.Source, error) {
 	st, ok := r.stores[k]
 	if !ok {
 		return nil, fmt.Errorf("core: archive has no %v store", k)
 	}
-	return func(fn func(*flow.Record) error) error {
-		_, err := st.Scan(q, fn)
+	return func(emit func(*pipe.Batch) error) error {
+		_, err := st.ScanBatches(q, emit)
 		return err
 	}, nil
 }
@@ -195,7 +206,7 @@ func (r *ReplayStudy) Figure4(k trafficgen.Kind) ([]takedown.Figure4Panel, error
 	if err != nil {
 		return nil, err
 	}
-	return takedown.Figure4Source(src, r.window, k)
+	return takedown.Figure4Source(src, r.window, k, r.par())
 }
 
 // Figure4All computes the panels for every vantage point in the archive.
@@ -212,25 +223,49 @@ func (r *ReplayStudy) Figure4All() (map[trafficgen.Kind][]takedown.Figure4Panel,
 }
 
 // Figure5 computes the systems-under-attack analysis for one vantage
-// point from the archive (UDP-pruned scan; the NTP attack filter is
-// applied exactly by the counter).
+// point from the archive. The scan keeps only UDP records touching the
+// NTP port on either side — a superset of the counter's exact
+// amplified-NTP filter (UDP src port 123), so the result is unchanged.
 func (r *ReplayStudy) Figure5(k trafficgen.Kind) (*takedown.Figure5Result, error) {
-	src, err := r.source(k, flowstore.Query{Protocols: []uint8{packet.IPProtoUDP}})
+	src, err := r.source(k, flowstore.Query{
+		Protocols:   []uint8{packet.IPProtoUDP},
+		PortsEither: []uint16{classify.NTPPort},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return takedown.Figure5Source(src, r.window, k)
+	return takedown.Figure5Source(src, r.window, k, r.par())
+}
+
+// Analyze computes Figure 4, Figure 5, and the robustness ablation for
+// one vantage point in a single scan of the archive — one pipeline
+// pass instead of one per figure. The scan keeps UDP records with a
+// reflector port on either side: a superset of everything the stages
+// consume (trigger traffic has a reflector dst port, amplified NTP
+// responses have src port 123), so the filter cannot change the
+// result while sparing the fan-out the bulk of background traffic.
+func (r *ReplayStudy) Analyze(k trafficgen.Kind) (*takedown.Analysis, error) {
+	src, err := r.source(k, flowstore.Query{
+		Protocols:   []uint8{packet.IPProtoUDP},
+		PortsEither: triggerPorts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return takedown.Analyze(src, r.window, k, r.par())
 }
 
 // Figure2a builds the Section 4 NTP packet size distribution from the
-// archived IXP view. The src-port-or-dst-port NTP match is not
-// expressible as a pruning predicate, so this is a full scan.
+// archived IXP view. The histogram's src-port-or-dst-port NTP match is
+// exactly the PortsEither predicate.
 func (r *ReplayStudy) Figure2a() (*PacketSizeDistribution, error) {
-	src, err := r.source(trafficgen.KindIXP, flowstore.Query{})
+	src, err := r.source(trafficgen.KindIXP, flowstore.Query{
+		PortsEither: []uint16{classify.NTPPort},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return figure2aSource(src)
+	return figure2aSource(src, r.par())
 }
 
 // Figure2bc classifies NTP amplification victims at one vantage point
@@ -241,7 +276,7 @@ func (r *ReplayStudy) Figure2bc(k trafficgen.Kind) (*VantageVictims, error) {
 	if err != nil {
 		return nil, err
 	}
-	return figure2bcSource(src, k)
+	return figure2bcSource(src, k, r.par())
 }
 
 // AllVantages runs Figure2bc for every vantage point in the archive.

@@ -267,6 +267,36 @@ func (p *PerDestMinutes) Add(rec *Record) {
 	bin.Sources[rec.Src] = struct{}{}
 }
 
+// Merge folds other into p, adopting other's bins where p has none.
+// other must not be used afterwards. When the two aggregators saw
+// disjoint destination sets — the sharded pipeline routes by
+// destination hash, so they do — the merge is exact: byte/packet sums
+// and source sets per bin equal a single serial pass.
+func (p *PerDestMinutes) Merge(other *PerDestMinutes) {
+	if other == nil {
+		return
+	}
+	for dst, om := range other.bins {
+		m, ok := p.bins[dst]
+		if !ok {
+			p.bins[dst] = om
+			continue
+		}
+		for k, ob := range om {
+			bin, ok := m[k]
+			if !ok {
+				m[k] = ob
+				continue
+			}
+			bin.Bytes += ob.Bytes
+			bin.Packets += ob.Packets
+			for src := range ob.Sources {
+				bin.Sources[src] = struct{}{}
+			}
+		}
+	}
+}
+
 // DestSummary condenses one destination's bins into the quantities
 // Figures 2(b) and 2(c) plot.
 type DestSummary struct {

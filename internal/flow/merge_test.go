@@ -1,0 +1,49 @@
+package flow
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestPerDestMinutesMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := time.Date(2018, 12, 1, 0, 0, 0, 0, time.UTC)
+	serial := NewPerDestMinutes()
+	shards := []*PerDestMinutes{NewPerDestMinutes(), NewPerDestMinutes(), NewPerDestMinutes()}
+	// Route each destination to a fixed shard, as the pipeline's hash
+	// fan-out does; several destinations share a shard so the merge
+	// exercises both adoption and bin-level folding.
+	for i := 0; i < 4000; i++ {
+		dst := netip.AddrFrom4([4]byte{192, 0, 2, byte(rng.Intn(12))})
+		rec := Record{
+			Key: Key{
+				Src: netip.AddrFrom4([4]byte{10, 0, byte(rng.Intn(4)), byte(rng.Intn(50))}),
+				Dst: dst,
+			},
+			Packets:      uint64(1 + rng.Intn(20)),
+			Bytes:        uint64(100 + rng.Intn(5000)),
+			Start:        base.Add(time.Duration(rng.Intn(3*60)) * time.Minute),
+			SamplingRate: 1,
+		}
+		serial.Add(&rec)
+		shards[int(dst.As4()[3])%len(shards)].Add(&rec)
+	}
+	merged := NewPerDestMinutes()
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	ms, ss := merged.Summaries(), serial.Summaries()
+	sortSummaries(ms)
+	sortSummaries(ss)
+	if !reflect.DeepEqual(ms, ss) {
+		t.Fatalf("merged summaries differ from serial:\nmerged = %+v\nserial = %+v", ms, ss)
+	}
+}
+
+func sortSummaries(s []DestSummary) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Dst.Less(s[j].Dst) })
+}

@@ -8,9 +8,11 @@ import (
 	"net/netip"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"booterscope/internal/flow"
+	"booterscope/internal/pipe"
 )
 
 // Query selects records for a Scan. The zero value matches everything.
@@ -26,6 +28,12 @@ type Query struct {
 	// DstPorts, when non-empty, matches any of the given destination
 	// ports (the reflector-trigger predicate: 123/53/11211).
 	DstPorts []uint16
+	// PortsEither, when non-empty, matches records whose source OR
+	// destination port is in the list — the single-pass analysis
+	// predicate: trigger traffic toward reflectors and amplified
+	// responses back share a port set but not a direction. Not
+	// index-prunable; it narrows record-level filtering only.
+	PortsEither []uint16
 	// Protocols, when non-empty, matches any of the given IP protocols.
 	Protocols []uint8
 }
@@ -45,6 +53,18 @@ func (q *Query) matches(r *flow.Record) bool {
 		ok := false
 		for _, p := range q.DstPorts {
 			if r.DstPort == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(q.PortsEither) > 0 {
+		ok := false
+		for _, p := range q.PortsEither {
+			if r.SrcPort == p || r.DstPort == p {
 				ok = true
 				break
 			}
@@ -105,24 +125,33 @@ func (s ScanStats) PruneFraction() float64 {
 	return float64(s.BlocksPruned) / float64(total)
 }
 
-// shardBatch is one shard's sorted batch of matching records.
+// shardBatch is one shard's sorted batch of matching records. The
+// record slab lives in a pooled pipe.Batch: scanners recycle partition
+// slabs through the pool instead of allocating one per partition, so a
+// steady-state scan stops feeding the garbage collector.
 type shardBatch struct {
-	recs []flow.Record
-	err  error
+	batch *pipe.Batch
+	err   error
 }
 
 // shardCursor pulls batches from one shard's scan goroutine.
 type shardCursor struct {
 	shard int
 	ch    <-chan shardBatch
-	buf   []flow.Record
+	cur   *pipe.Batch
 	pos   int
 	err   error
 }
 
-// next advances to the next record, pulling batches as needed.
+// next advances to the next record, pulling batches as needed. A
+// returned record pointer is valid only until the next call: exhausted
+// slabs go back to the pool.
 func (c *shardCursor) next() (*flow.Record, bool) {
-	for c.pos >= len(c.buf) {
+	for c.cur == nil || c.pos >= len(c.cur.Recs) {
+		if c.cur != nil {
+			c.cur.Release()
+			c.cur = nil
+		}
 		b, ok := <-c.ch
 		if !ok {
 			return nil, false
@@ -131,11 +160,26 @@ func (c *shardCursor) next() (*flow.Record, bool) {
 			c.err = b.err
 			return nil, false
 		}
-		c.buf, c.pos = b.recs, 0
+		c.cur, c.pos = b.batch, 0
 	}
-	r := &c.buf[c.pos]
+	r := &c.cur.Recs[c.pos]
 	c.pos++
 	return r, true
+}
+
+// drain releases the cursor's current slab and any batches still
+// queued on its channel — the cancellation path's cleanup, keeping
+// every pooled slab accounted for.
+func (c *shardCursor) drain() {
+	if c.cur != nil {
+		c.cur.Release()
+		c.cur = nil
+	}
+	for b := range c.ch {
+		if b.batch != nil {
+			b.batch.Release()
+		}
+	}
 }
 
 // mergeHeap orders shard heads by (Start, shard id) — a deterministic
@@ -163,44 +207,28 @@ func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h
 // deterministic). Per-shard scanners decode and filter blocks in
 // parallel; the sparse indexes prune non-matching segments and blocks
 // without decoding them. A non-nil error from fn aborts the scan and is
-// returned. Only sealed segments are visible: writers call Seal (or
-// Close) to publish.
+// returned. The record pointer is valid only for the duration of the
+// call — slabs are pooled and recycled; copy the record to keep it.
+// Only sealed segments are visible: writers call Seal (or Close) to
+// publish.
 func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
 	start := time.Now()
-	s.mu.Lock()
-	shards := s.opts.Shards
-	byShard := make(map[int][]SegmentEntry, shards)
-	var stats ScanStats
-	for _, e := range s.man.Segments {
-		if q.segPrunable(&e) {
-			stats.SegmentsPruned++
-			blocks := int(e.Blocks)
-			stats.BlocksPruned += blocks
-			metricSegmentsPruned.Inc()
-			metricBlocksPruned.Add(uint64(blocks))
-			continue
-		}
-		byShard[e.Shard] = append(byShard[e.Shard], e)
-	}
-	dir := s.dir
-	s.mu.Unlock()
+	shards, dir, byShard, stats := s.planScan(q)
 
 	// Partition-ordered segment lists give each shard stream global
 	// time order: partitions are disjoint in start time, and records
 	// within a partition are sorted after decoding.
 	statsCh := make(chan ScanStats, shards)
+	done := make(chan struct{})
 	cursors := make([]*shardCursor, 0, shards)
 	for shard := 0; shard < shards; shard++ {
 		segs := byShard[shard]
-		sort.Slice(segs, func(i, j int) bool {
-			if segs[i].PartitionSec != segs[j].PartitionSec {
-				return segs[i].PartitionSec < segs[j].PartitionSec
-			}
-			return segs[i].File < segs[j].File
-		})
 		ch := make(chan shardBatch, 2)
 		cursors = append(cursors, &shardCursor{shard: shard, ch: ch})
-		go scanShard(dir, shard, segs, q, ch, statsCh)
+		go func(shard int) {
+			scanShard(dir, shard, segs, q, ch, statsCh, done, true)
+			close(ch)
+		}(shard)
 	}
 
 	h := make(mergeHeap, 0, len(cursors))
@@ -213,10 +241,12 @@ func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
 	var fnErr error
 	for h.Len() > 0 {
 		it := h[0]
-		if fnErr == nil {
-			if err := fn(it.rec); err != nil {
-				fnErr = err
-			}
+		if err := fn(it.rec); err != nil {
+			// Cancel: stop the shard scanners instead of decoding the
+			// rest of the archive into a discarded drain.
+			fnErr = err
+			close(done)
+			break
 		}
 		if r, ok := it.cur.next(); ok {
 			it.rec = r
@@ -233,6 +263,9 @@ func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
 		stats.RecordsScanned += st.RecordsScanned
 		stats.RecordsMatched += st.RecordsMatched
 	}
+	for _, c := range cursors {
+		c.drain()
+	}
 	metricScanSeconds.ObserveDuration(time.Since(start))
 	if fnErr != nil {
 		return stats, fnErr
@@ -245,28 +278,139 @@ func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
 	return stats, nil
 }
 
+// planScan snapshots the manifest under the lock, prunes whole
+// segments, and groups the survivors by shard in partition order.
+func (s *Store) planScan(q Query) (shards int, dir string, byShard map[int][]SegmentEntry, stats ScanStats) {
+	s.mu.Lock()
+	shards = s.opts.Shards
+	byShard = make(map[int][]SegmentEntry, shards)
+	for _, e := range s.man.Segments {
+		if q.segPrunable(&e) {
+			stats.SegmentsPruned++
+			blocks := int(e.Blocks)
+			stats.BlocksPruned += blocks
+			metricSegmentsPruned.Inc()
+			metricBlocksPruned.Add(uint64(blocks))
+			continue
+		}
+		byShard[e.Shard] = append(byShard[e.Shard], e)
+	}
+	dir = s.dir
+	s.mu.Unlock()
+	for shard := range byShard {
+		segs := byShard[shard]
+		sort.Slice(segs, func(i, j int) bool {
+			if segs[i].PartitionSec != segs[j].PartitionSec {
+				return segs[i].PartitionSec < segs[j].PartitionSec
+			}
+			return segs[i].File < segs[j].File
+		})
+	}
+	return shards, dir, byShard, stats
+}
+
+// ScanBatches streams every sealed record matching q to emit as pooled
+// record batches, without the k-way time-ordered funnel Scan pays for:
+// shard scanners feed a shared channel and batches arrive in whatever
+// order decoding finishes, unsorted. Use it to drive a pipe fan-out
+// (order-insensitive or watermark-driven stages); use Scan when the
+// consumer needs global time order. Ownership of each batch passes to
+// emit; an error from emit cancels the scan and is returned.
+func (s *Store) ScanBatches(q Query, emit func(*pipe.Batch) error) (ScanStats, error) {
+	start := time.Now()
+	shards, dir, byShard, stats := s.planScan(q)
+
+	statsCh := make(chan ScanStats, shards)
+	done := make(chan struct{})
+	out := make(chan shardBatch, 2*shards)
+	var wg sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			scanShard(dir, shard, byShard[shard], q, out, statsCh, done, false)
+		}(shard)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	var firstErr error
+	for b := range out {
+		if firstErr != nil {
+			// Drain: done is closed, scanners exit promptly. Queued
+			// slabs still go back to the pool.
+			if b.batch != nil {
+				b.batch.Release()
+			}
+			continue
+		}
+		if b.err != nil {
+			firstErr = b.err
+			close(done)
+			continue
+		}
+		if err := emit(b.batch); err != nil {
+			firstErr = err
+			close(done)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		st := <-statsCh
+		stats.SegmentsScanned += st.SegmentsScanned
+		stats.BlocksScanned += st.BlocksScanned
+		stats.BlocksPruned += st.BlocksPruned
+		stats.RecordsScanned += st.RecordsScanned
+		stats.RecordsMatched += st.RecordsMatched
+	}
+	metricScanSeconds.ObserveDuration(time.Since(start))
+	return stats, firstErr
+}
+
 // scanShard streams one shard's matching records, partition by
-// partition, each partition's survivors sorted by start time.
-func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- shardBatch, statsCh chan<- ScanStats) {
+// partition, each partition's survivors sorted by start time when
+// sorted is set (the ordered Scan path; batch scans skip the sort). A
+// close of done cancels the scan: pending sends abort and no further
+// segments are decoded. The caller owns out; stats are always sent.
+func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- shardBatch, statsCh chan<- ScanStats, done <-chan struct{}, sorted bool) {
 	var stats ScanStats
 	defer func() {
-		close(out)
 		statsCh <- stats
 	}()
+	send := func(b shardBatch) bool {
+		select {
+		case out <- b:
+			return true
+		case <-done:
+			return false
+		}
+	}
 	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shard))
 	for i := 0; i < len(segs); {
+		select {
+		case <-done:
+			return
+		default:
+		}
 		// Group segments of one partition: their records interleave in
 		// time and must be sorted together.
 		j := i + 1
 		for j < len(segs) && segs[j].PartitionSec == segs[i].PartitionSec {
 			j++
 		}
-		var part []flow.Record
+		// The partition slab comes from the batch pool: after a few
+		// partitions the scanner cycles grown slabs instead of handing
+		// a fresh allocation per partition to the garbage collector.
+		slab := pipe.NewBatch()
+		part := slab.Recs
 		for _, e := range segs[i:j] {
 			stats.SegmentsScanned++
 			r, err := openSegmentReader(filepath.Join(shardDir, e.File))
 			if err != nil {
-				out <- shardBatch{err: err}
+				slab.Recs = part
+				slab.Release()
+				send(shardBatch{err: err})
 				return
 			}
 			for {
@@ -277,7 +421,9 @@ func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- s
 				}
 				if err != nil {
 					r.close()
-					out <- shardBatch{err: err}
+					slab.Recs = part
+					slab.Release()
+					send(shardBatch{err: err})
 					return
 				}
 				if recs == nil {
@@ -299,14 +445,38 @@ func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- s
 					}
 				}
 				part = kept
+				// Unsorted scans need no partition-wide slab: flush at
+				// batch granularity so every pooled slab converges on
+				// DefaultBatchSize capacity instead of ballooning to
+				// whole partitions.
+				if !sorted && len(part) >= pipe.DefaultBatchSize {
+					slab.Recs = part
+					stats.RecordsMatched += uint64(len(part))
+					metricRecordsMatched.Add(uint64(len(part)))
+					if !send(shardBatch{batch: slab}) {
+						slab.Release()
+						r.close()
+						return
+					}
+					slab = pipe.NewBatch()
+					part = slab.Recs
+				}
 			}
 			r.close()
 		}
+		slab.Recs = part
 		if len(part) > 0 {
-			sort.SliceStable(part, func(a, b int) bool { return part[a].Start.Before(part[b].Start) })
+			if sorted {
+				sort.SliceStable(part, func(a, b int) bool { return part[a].Start.Before(part[b].Start) })
+			}
 			stats.RecordsMatched += uint64(len(part))
 			metricRecordsMatched.Add(uint64(len(part)))
-			out <- shardBatch{recs: part}
+			if !send(shardBatch{batch: slab}) {
+				slab.Release()
+				return
+			}
+		} else {
+			slab.Release()
 		}
 		i = j
 	}

@@ -1,0 +1,269 @@
+package pipe
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// shardQueueDepth bounds each shard channel in batches. A routing
+// producer that outruns a shard blocks on that shard's queue — this
+// is the pipeline's backpressure: memory is capped at
+// shards × depth × batch size records, and a slow stage slows the
+// source instead of ballooning the heap.
+const shardQueueDepth = 4
+
+// Advancer is the optional stage extension for watermark-driven state
+// (the sharded classify.Monitor): after the last record has been
+// processed and workers have drained, FanOut.Close calls AdvanceTo
+// with the final global watermark on every shard that implements it,
+// so shards whose own records stopped early still observe the stream's
+// end-of-input clock before Close folds their state.
+type Advancer interface {
+	AdvanceTo(unixSec int64)
+}
+
+// FanOut shards a record stream across worker stages by a per-record
+// hash key. It is itself a Stage: Process routes each record of the
+// incoming batch into a per-shard pending slab, flushing full slabs
+// onto that shard's bounded queue; Close flushes the remainder, joins
+// the workers, and then calls each shard's Close serially in index
+// order — the deterministic merge point.
+//
+// The watermark/sequence sidecars (Batch.Marks, Batch.Seqs) are
+// stamped only when a mark filter is set (SetMarkFilter): they exist
+// for watermark-driven stages like the sharded classify.Monitor, which
+// always configure a filter. Purely order-insensitive stages route
+// lean record-only batches and skip the per-record clock bookkeeping.
+//
+// With a single shard — or a single available CPU, where workers could
+// only interleave, not overlap — FanOut skips goroutines and channels
+// entirely and drives the shards inline: sharded state and the
+// deterministic merge are preserved, but records stop paying for
+// channel hops that cannot buy any parallelism.
+type FanOut struct {
+	key     func(*flow.Record) uint64
+	shards  []Stage
+	chans   []chan *Batch
+	pending []*Batch
+	wg      sync.WaitGroup
+	inline  bool
+
+	watermark int64
+	markIf    func(*flow.Record) bool
+	seq       uint64
+	routed    bool
+
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewFanOut builds a fan-out over the given shard stages. key maps a
+// record to a hash; records with equal key%len(shards) are processed
+// by the same shard in stream order. Workers start immediately for
+// len(shards) > 1.
+func NewFanOut(key func(*flow.Record) uint64, shards ...Stage) *FanOut {
+	if len(shards) == 0 {
+		panic("pipe: NewFanOut needs at least one shard")
+	}
+	f := &FanOut{
+		key:       key,
+		shards:    shards,
+		pending:   make([]*Batch, len(shards)),
+		inline:    len(shards) == 1 || runtime.GOMAXPROCS(0) == 1,
+		watermark: math.MinInt64,
+	}
+	for i := range f.pending {
+		f.pending[i] = NewBatch()
+	}
+	if !f.inline {
+		f.chans = make([]chan *Batch, len(shards))
+		for i := range f.chans {
+			f.chans[i] = make(chan *Batch, shardQueueDepth)
+			f.wg.Add(1)
+			go f.worker(i)
+		}
+	}
+	return f
+}
+
+func (f *FanOut) worker(s int) {
+	defer f.wg.Done()
+	for b := range f.chans[s] {
+		if f.failed.Load() {
+			// A peer already failed: drain without processing so the
+			// router never blocks on this queue while unwinding.
+			b.Release()
+			continue
+		}
+		start := time.Now()
+		err := f.shards[s].Process(b)
+		metricStageLatency.ObserveDuration(time.Since(start))
+		b.Release()
+		if err != nil {
+			metricStageErrors.Inc()
+			f.fail(err)
+		}
+	}
+}
+
+func (f *FanOut) fail(err error) {
+	f.errMu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.errMu.Unlock()
+	f.failed.Store(true)
+}
+
+func (f *FanOut) err() error {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.firstErr
+}
+
+// Process routes one incoming batch. The caller keeps ownership of b;
+// records are copied into per-shard slabs. Returns the first worker
+// error as soon as any shard has failed, which aborts the source.
+func (f *FanOut) Process(b *Batch) error {
+	if f.failed.Load() {
+		return f.err()
+	}
+	f.routed = f.routed || len(b.Recs) > 0
+	n := uint64(len(f.shards))
+	stamp := f.markIf != nil
+	for i := range b.Recs {
+		r := &b.Recs[i]
+		s := 0
+		if n > 1 {
+			s = int(f.key(r) % n)
+		}
+		p := f.pending[s]
+		if stamp {
+			if f.markIf(r) {
+				if ts := r.Start.Unix(); ts > f.watermark {
+					f.watermark = ts
+				}
+			}
+			p.appendRec(r, f.watermark, f.seq)
+			f.seq++
+		} else {
+			p.Recs = append(p.Recs, *r)
+		}
+		if p.Len() >= DefaultBatchSize {
+			if err := f.flush(s); err != nil {
+				return err
+			}
+		}
+	}
+	metricRecordsRouted.Add(uint64(len(b.Recs)))
+	return nil
+}
+
+// flush hands shard s's pending slab to its worker (or processes it
+// inline for the single-shard fast path) and starts a fresh slab.
+func (f *FanOut) flush(s int) error {
+	p := f.pending[s]
+	if p.Len() == 0 {
+		return nil
+	}
+	f.pending[s] = NewBatch()
+	metricBatchesRouted.Inc()
+	if f.inline {
+		start := time.Now()
+		err := f.shards[s].Process(p)
+		metricStageLatency.ObserveDuration(time.Since(start))
+		p.Release()
+		if err != nil {
+			metricStageErrors.Inc()
+			f.fail(err)
+			return err
+		}
+		return nil
+	}
+	if f.failed.Load() {
+		p.Release()
+		return f.err()
+	}
+	f.chans[s] <- p
+	metricShardQueueHWM.SetMax(float64(len(f.chans[s])))
+	return nil
+}
+
+// Close flushes pending slabs, joins the workers, advances every
+// Advancer shard to the final global watermark, and closes the shards
+// serially in index order. The first error from routing, any worker,
+// or any Close is returned; every shard's Close still runs.
+func (f *FanOut) Close() error {
+	for s := range f.pending {
+		if f.failed.Load() {
+			break
+		}
+		f.flush(s)
+	}
+	for s := range f.pending {
+		if f.pending[s] != nil {
+			f.pending[s].Release()
+			f.pending[s] = nil
+		}
+	}
+	if !f.inline {
+		for _, ch := range f.chans {
+			close(ch)
+		}
+		f.wg.Wait()
+	}
+	err := f.err()
+	if f.watermark != math.MinInt64 && err == nil {
+		for _, st := range f.shards {
+			if a, ok := st.(Advancer); ok {
+				a.AdvanceTo(f.watermark)
+			}
+		}
+	}
+	for _, st := range f.shards {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Watermark reports the maximum record start time (unix seconds)
+// routed so far over mark-filtered records; math.MinInt64 before the
+// first match or when no mark filter is set.
+func (f *FanOut) Watermark() int64 { return f.watermark }
+
+// SetMarkFilter enables watermark/sequence stamping, restricting
+// watermark advancement to records satisfying pred. A watermark-driven
+// stage whose serial form only moves its clock on a subset of records
+// (classify.Monitor advances on filter-matched records only) needs the
+// stamped prefix-max computed over exactly that subset, or the
+// parallel run would evict earlier than the serial one. Must be called
+// before the first Process.
+func (f *FanOut) SetMarkFilter(pred func(*flow.Record) bool) {
+	if f.routed {
+		panic("pipe: SetMarkFilter after records were routed")
+	}
+	f.markIf = pred
+}
+
+// RunSharded drives src through a fan-out over shards and returns the
+// first error. Equivalent to Run(src, NewFanOut(key, shards...)).
+func RunSharded(src Source, key func(*flow.Record) uint64, shards ...Stage) error {
+	return Run(src, NewFanOut(key, shards...))
+}
+
+// Parallelism normalizes a -parallelism flag value: n >= 1 is used as
+// given, anything else means runtime.NumCPU().
+func Parallelism(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.NumCPU()
+}

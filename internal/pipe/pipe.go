@@ -1,0 +1,238 @@
+// Package pipe is the batch-oriented analysis pipeline every record
+// consumer in booterscope runs on: reusable record slabs (Batch) pooled
+// with sync.Pool, a Stage interface for serial consumers, and a hash
+// fan-out (FanOut) that shards a record stream across bounded worker
+// queues and merges per-shard state deterministically on Close.
+//
+// The pipeline exists because the producers are parallel — the
+// flowstore scans segments per shard, the traffic generator emits whole
+// days — while the paper's analyses were written as one serial
+// func(*flow.Record) callback chain. pipe moves records in batches and
+// lets each aggregation run one instance per shard, so the scan →
+// classify → analyze path keeps every core busy without giving up the
+// replay-equals-live guarantee.
+//
+// # Batch lifecycle and ownership
+//
+// A Batch is produced by exactly one party (a Source, or FanOut when it
+// re-slabs routed records) and consumed by exactly one Stage. The
+// caller of Process retains ownership: after Process returns, the
+// batch may be released and its backing arrays reused, so a stage must
+// copy anything it keeps. Sources hand ownership of each emitted batch
+// to the consumer via emit; whoever drives the source (Run, FanOut)
+// releases it.
+//
+// # Determinism
+//
+// Every aggregation in the repository is either order-insensitive
+// (integer-valued sums, per-key maps — identical under any delivery
+// order) or watermark-driven (classify.Monitor eviction). FanOut stamps
+// two per-record sidecars to make parallel runs reproduce serial ones
+// bit-for-bit: Marks, the running prefix-maximum record start time
+// (the watermark a sharded monitor advances its eviction clock with),
+// and Seqs, the global record sequence number (the key an emitting
+// stage sorts its output by to reproduce serial emission order).
+package pipe
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"booterscope/internal/flow"
+)
+
+// DefaultBatchSize is the record capacity new pooled batches start
+// with — large enough to amortize channel and pool operations, small
+// enough that a shard queue of a few batches bounds memory.
+const DefaultBatchSize = 4096
+
+// Batch is a reusable slab of flow records moving through the
+// pipeline, with optional per-record sidecars stamped by FanOut.
+type Batch struct {
+	// Recs are the records; consumers iterate Recs[i] by index and must
+	// not retain pointers into the slice past Process.
+	Recs []flow.Record
+	// Marks, when non-nil, holds one watermark per record: the maximum
+	// record start time (unix seconds) over every record the fan-out
+	// routed up to and including this one, across all shards.
+	Marks []int64
+	// Seqs, when non-nil, holds one global sequence number per record:
+	// the record's position in the source stream before fan-out.
+	Seqs []uint64
+}
+
+var batchPool = sync.Pool{
+	New: func() any {
+		return &Batch{Recs: make([]flow.Record, 0, DefaultBatchSize)}
+	},
+}
+
+// NewBatch returns an empty batch from the pool.
+func NewBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	metricBatchesInFlight.Add(1)
+	return b
+}
+
+// Wrap adopts an existing record slice as a batch without copying.
+// The caller must not touch recs after Wrap; Release returns the slab
+// to the pool for reuse.
+func Wrap(recs []flow.Record) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Recs = recs
+	metricBatchesInFlight.Add(1)
+	return b
+}
+
+// Len reports the record count.
+func (b *Batch) Len() int { return len(b.Recs) }
+
+// Release resets the batch and returns it to the pool. The batch and
+// its slices must not be used afterwards.
+func (b *Batch) Release() {
+	b.Recs = b.Recs[:0]
+	b.Marks = b.Marks[:0]
+	b.Seqs = b.Seqs[:0]
+	metricBatchesInFlight.Add(-1)
+	batchPool.Put(b)
+}
+
+// appendRec appends one record with its sidecars.
+func (b *Batch) appendRec(r *flow.Record, mark int64, seq uint64) {
+	b.Recs = append(b.Recs, *r)
+	b.Marks = append(b.Marks, mark)
+	b.Seqs = append(b.Seqs, seq)
+}
+
+// Stage consumes batches serially: Process is never called
+// concurrently on one stage, and Close is called exactly once after
+// the last Process. Close is where a sharded stage folds its state
+// into the merged result — the engine calls it on the driving
+// goroutine, shard by shard in index order, so merge code needs no
+// locking.
+type Stage interface {
+	Process(b *Batch) error
+	Close() error
+}
+
+// Source streams batches to emit until the stream is exhausted or emit
+// returns an error, which the source must propagate immediately —
+// early exit and cancellation flow through this return value.
+// Ownership of each emitted batch passes to emit's implementation.
+type Source func(emit func(*Batch) error) error
+
+// Run drives src through st on the calling goroutine and closes the
+// stage. The first error — source, Process, or Close — is returned;
+// Close always runs so stages can release resources.
+func Run(src Source, st Stage) error {
+	err := src(func(b *Batch) error {
+		defer b.Release()
+		return st.Process(b)
+	})
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// StageFunc adapts a pair of funcs to Stage; either may be nil.
+type StageFunc struct {
+	ProcessFn func(b *Batch) error
+	CloseFn   func() error
+}
+
+// Process implements Stage.
+func (s StageFunc) Process(b *Batch) error {
+	if s.ProcessFn == nil {
+		return nil
+	}
+	return s.ProcessFn(b)
+}
+
+// Close implements Stage.
+func (s StageFunc) Close() error {
+	if s.CloseFn == nil {
+		return nil
+	}
+	return s.CloseFn()
+}
+
+// multiStage drives several stages over the same batches — how one
+// scan of a source feeds several aggregations in a single pass.
+type multiStage []Stage
+
+// MultiStage composes stages into one: Process feeds each stage the
+// same batch in order, Close closes each in order (first error wins,
+// every Close still runs).
+func MultiStage(stages ...Stage) Stage {
+	if len(stages) == 1 {
+		return stages[0]
+	}
+	return multiStage(stages)
+}
+
+// Process implements Stage.
+func (m multiStage) Process(b *Batch) error {
+	for _, st := range m {
+		if err := st.Process(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Stage.
+func (m multiStage) Close() error {
+	var first error
+	for _, st := range m {
+		if err := st.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AdvanceTo forwards the final watermark to every composed stage that
+// is watermark-driven.
+func (m multiStage) AdvanceTo(unixSec int64) {
+	for _, st := range m {
+		if a, ok := st.(Advancer); ok {
+			a.AdvanceTo(unixSec)
+		}
+	}
+}
+
+// fnv1aAddr folds a netip.Addr into an FNV-1a-style hash, word-wise
+// rather than byte-wise: two multiply rounds per address keep the
+// per-record routing cost negligible, and any deterministic key works
+// — shard assignment never shows in the output (the golden parallelism
+// tests pin this).
+func fnv1aAddr(h uint64, a [16]byte) uint64 {
+	const prime64 = 1099511628211
+	h ^= binary.LittleEndian.Uint64(a[:8])
+	h *= prime64
+	h ^= binary.LittleEndian.Uint64(a[8:])
+	h *= prime64
+	return h
+}
+
+const fnvOffset64 = 14695981039346656037
+
+// KeyDst routes records by destination (victim) address: every record
+// about one victim lands on the same shard, which is what keeps the
+// per-victim aggregations (classify, attack counting) shard-local and
+// their merge exact.
+func KeyDst(r *flow.Record) uint64 {
+	return fnv1aAddr(fnvOffset64, r.Dst.As16())
+}
+
+// KeyFlow routes records by the full 5-tuple — for stages keyed on
+// flows rather than victims.
+func KeyFlow(r *flow.Record) uint64 {
+	h := fnv1aAddr(fnvOffset64, r.Src.As16())
+	h = fnv1aAddr(h, r.Dst.As16())
+	h ^= uint64(r.SrcPort)<<32 | uint64(r.DstPort)<<16 | uint64(r.Protocol)
+	const prime64 = 1099511628211
+	h *= prime64
+	return h
+}

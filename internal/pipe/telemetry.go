@@ -1,0 +1,28 @@
+package pipe
+
+import "booterscope/internal/telemetry"
+
+// Package-level pipeline accounting. Like internal/flow, fan-outs are
+// created per run (one per study pass or collector), so the metrics
+// are process-wide aggregates rather than per-instance fields.
+var (
+	metricBatchesInFlight = telemetry.NewGauge()
+	metricBatchesRouted   = telemetry.NewCounter()
+	metricRecordsRouted   = telemetry.NewCounter()
+	metricShardQueueHWM   = telemetry.NewGauge()
+	metricStageLatency    = telemetry.NewHistogram(
+		1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+	)
+	metricStageErrors = telemetry.NewCounter()
+)
+
+// RegisterTelemetry attaches the pipeline accounting to r under the
+// pipe_* names required by scripts/lint-telemetry.sh.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("pipe_batches_in_flight", "pooled batches currently checked out", metricBatchesInFlight)
+	r.MustRegister("pipe_batches_routed_total", "batches emitted to shard queues by fan-outs", metricBatchesRouted)
+	r.MustRegister("pipe_records_routed_total", "records hashed across shard queues by fan-outs", metricRecordsRouted)
+	r.MustRegister("pipe_shard_queue_depth_max", "high-watermark of shard queue depth (batches)", metricShardQueueHWM)
+	r.MustRegister("pipe_stage_batch_latency_seconds", "per-stage Process latency per batch", metricStageLatency)
+	r.MustRegister("pipe_stage_errors_total", "errors returned by stage Process calls", metricStageErrors)
+}

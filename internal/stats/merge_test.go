@@ -1,0 +1,34 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	serial := NewHistogram(0, 1500, 75)
+	shards := []*Histogram{NewHistogram(0, 1500, 75), NewHistogram(0, 1500, 75)}
+	for i := 0; i < 10_000; i++ {
+		// Include out-of-range values so Underflow/Overflow merge too.
+		x := float64(rng.Intn(1800)) - 100
+		serial.Add(x)
+		shards[rng.Intn(len(shards))].Add(x)
+	}
+	merged := NewHistogram(0, 1500, 75)
+	merged.Merge(shards[1])
+	merged.Merge(shards[0])
+	if !reflect.DeepEqual(merged, serial) {
+		t.Fatalf("merged = %+v\nserial = %+v", merged, serial)
+	}
+}
+
+func TestHistogramMergeRejectsLayoutMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched layouts did not panic")
+		}
+	}()
+	NewHistogram(0, 1500, 75).Merge(NewHistogram(0, 1500, 10))
+}

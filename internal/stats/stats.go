@@ -311,6 +311,24 @@ func (h *Histogram) Add(x float64) {
 // Total reports the number of observations, including out-of-range ones.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Merge folds other into h. Both histograms must share the same range
+// and bin count; per-shard histograms merged this way are exactly the
+// histogram a single serial pass would have built, in any merge order.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if other.Min != h.Min || other.Max != h.Max || len(other.Counts) != len(h.Counts) {
+		panic("stats: merging histograms with different layouts")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.total += other.total
+	h.Underflow += other.Underflow
+	h.Overflow += other.Overflow
+}
+
 // PDF returns each bin's fraction of in-range observations.
 func (h *Histogram) PDF() []float64 {
 	in := h.total - h.Underflow - h.Overflow

@@ -4,29 +4,74 @@ import (
 	"time"
 
 	"booterscope/internal/flow"
+	"booterscope/internal/pipe"
 	"booterscope/internal/trafficgen"
 )
 
-// Source streams flow records to a visitor. It is the seam between the
-// takedown analyses and where the records come from: a live traffic
-// generator (ScenarioSource), a collector, or a flowstore archive
-// replayed with Scan. Every aggregation below is order-insensitive —
-// integer-valued daily sums and per-key maps — so any delivery order
-// over the same record multiset yields identical results; that is the
-// replay-equals-live guarantee the flowstore relies on.
-type Source func(fn func(*flow.Record) error) error
+// Source streams flow records in batches to a visitor. It is the seam
+// between the takedown analyses and where the records come from: a
+// live traffic generator (ScenarioSource), a collector, or a flowstore
+// archive replayed with ScanBatches. Every aggregation below is
+// order-insensitive — integer-valued daily sums and per-key maps — so
+// any delivery order over the same record multiset yields identical
+// results; that is the replay-equals-live guarantee the flowstore
+// relies on, and what lets the same Source drive a sharded pipeline.
+//
+// Source has the same shape as pipe.Source: ownership of each emitted
+// batch passes to emit, and an error returned by emit must be
+// propagated immediately — that is how early exit and cancellation
+// reach the producer.
+type Source func(emit func(*pipe.Batch) error) error
+
+// Records adapts the batch stream to the per-record visitor form the
+// analyses used before the pipeline existed. Errors from fn cancel the
+// stream and are returned.
+func (s Source) Records(fn func(*flow.Record) error) error {
+	return s(func(b *pipe.Batch) error {
+		defer b.Release()
+		for i := range b.Recs {
+			if err := fn(&b.Recs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// FromRecords adapts a per-record stream function (the old Source
+// form) to the batch form, re-slabbing records into pooled batches.
+func FromRecords(stream func(fn func(*flow.Record) error) error) Source {
+	return func(emit func(*pipe.Batch) error) error {
+		b := pipe.NewBatch()
+		err := stream(func(rec *flow.Record) error {
+			b.Recs = append(b.Recs, *rec)
+			if b.Len() >= pipe.DefaultBatchSize {
+				full := b
+				b = pipe.NewBatch()
+				return emit(full)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Release()
+			return err
+		}
+		if b.Len() > 0 {
+			return emit(b)
+		}
+		b.Release()
+		return nil
+	}
+}
 
 // ScenarioSource streams one vantage point's records from the live
-// generator, day by day.
+// generator, one batch per day.
 func ScenarioSource(s *trafficgen.Scenario, k trafficgen.Kind) Source {
-	return func(fn func(*flow.Record) error) error {
+	return func(emit func(*pipe.Batch) error) error {
 		cfg := s.Config()
 		for day := 0; day < cfg.Days; day++ {
-			for _, rec := range s.Day(k, day) {
-				rec := rec
-				if err := fn(&rec); err != nil {
-					return err
-				}
+			if err := emit(pipe.Wrap(s.Day(k, day))); err != nil {
+				return err
 			}
 		}
 		return nil

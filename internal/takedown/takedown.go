@@ -11,6 +11,12 @@
 //   - Figure 5: systems under NTP attack per hour, using the
 //     conservative classification — where no significant reduction
 //     appears.
+//
+// Every analysis runs on the batch pipeline (internal/pipe): records
+// are hash-fanned across par shard stages, each shard aggregates
+// locally, and shard results merge exactly — the sums are
+// integer-valued and the maps victim-disjoint — so any parallelism
+// yields byte-identical output to the serial pass.
 package takedown
 
 import (
@@ -21,6 +27,7 @@ import (
 	"booterscope/internal/classify"
 	"booterscope/internal/flow"
 	"booterscope/internal/packet"
+	"booterscope/internal/pipe"
 	"booterscope/internal/timeseries"
 	"booterscope/internal/trafficgen"
 )
@@ -59,48 +66,113 @@ func (p Figure4Panel) String() string {
 // ReflectorVectors are the amplification vectors analyzed in Figure 4.
 var ReflectorVectors = []amplify.Vector{amplify.Memcached, amplify.NTP, amplify.DNS}
 
-// Figure4 computes the to-reflector traffic analysis for one vantage
-// point of a scenario.
-func Figure4(s *trafficgen.Scenario, k trafficgen.Kind) ([]Figure4Panel, error) {
-	return Figure4Source(ScenarioSource(s, k), WindowOf(s.Config()), k)
+// runSharded drives src through par shard stages built by mk, routed
+// by victim hash.
+func runSharded(src Source, par int, mk func() pipe.Stage) error {
+	if par < 1 {
+		par = 1
+	}
+	stages := make([]pipe.Stage, par)
+	for i := range stages {
+		stages[i] = mk()
+	}
+	return pipe.RunSharded(pipe.Source(src), pipe.KeyDst, stages...)
 }
 
-// triggerSeries accumulates daily to-reflector packet sums per vector
-// from a record stream — the shared aggregation behind Figure 4, its
-// robustness ablation, and the direction breakdown. Daily sums are
-// integer-valued float64 additions (each well below 2^53), so they are
-// exact and independent of record order.
-func triggerSeries(src Source, w Window) (map[amplify.Vector]*timeseries.Series, error) {
-	series := make(map[amplify.Vector]*timeseries.Series)
+// newVectorSeries allocates one daily series per reflector vector.
+func newVectorSeries() map[amplify.Vector]*timeseries.Series {
+	series := make(map[amplify.Vector]*timeseries.Series, len(ReflectorVectors))
 	for _, v := range ReflectorVectors {
 		series[v] = timeseries.NewDaily()
 	}
-	err := src(func(rec *flow.Record) error {
+	return series
+}
+
+// triggerStage accumulates one shard's daily to-reflector packet sums
+// per vector — the shared aggregation behind Figure 4, its robustness
+// ablation, and the direction breakdown. Daily sums are integer-valued
+// float64 additions (each well below 2^53), so they are exact and
+// independent of record order and sharding; Close folds the shard's
+// series into the merge target (the engine serializes Closes).
+type triggerStage struct {
+	w      Window
+	into   map[amplify.Vector]*timeseries.Series
+	series map[amplify.Vector]*timeseries.Series
+	// ports/byPort flatten the vector lookup off the per-record path.
+	ports  []uint16
+	byPort []*timeseries.Series
+}
+
+func newTriggerStage(w Window, into map[amplify.Vector]*timeseries.Series) *triggerStage {
+	t := &triggerStage{w: w, into: into, series: newVectorSeries()}
+	for _, v := range ReflectorVectors {
+		t.ports = append(t.ports, v.Port())
+		t.byPort = append(t.byPort, t.series[v])
+	}
+	return t
+}
+
+// Process implements pipe.Stage.
+func (t *triggerStage) Process(b *pipe.Batch) error {
+	for i := range b.Recs {
+		rec := &b.Recs[i]
 		if rec.Protocol != packet.IPProtoUDP {
-			return nil
+			continue
 		}
-		for _, v := range ReflectorVectors {
-			if rec.DstPort == v.Port() {
-				series[v].Add(w.DayTime(rec.Start), float64(rec.ScaledPackets()))
+		for j, p := range t.ports {
+			if rec.DstPort == p {
+				t.byPort[j].Add(t.w.DayTime(rec.Start), float64(rec.ScaledPackets()))
 				break
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return series, nil
+	return nil
 }
 
-// Figure4Source computes the Figure 4 panels from any record stream —
-// live generation or a flowstore replay — over the given window. k
-// labels the vantage point in the output.
-func Figure4Source(src Source, w Window, k trafficgen.Kind) ([]Figure4Panel, error) {
-	series, err := triggerSeries(src, w)
+// Close implements pipe.Stage: the exact shard merge.
+func (t *triggerStage) Close() error {
+	for v, s := range t.into {
+		s.Merge(t.series[v])
+	}
+	return nil
+}
+
+// counterStage accumulates one shard's systems-under-attack state.
+type counterStage struct {
+	into    *classify.AttackCounter
+	counter *classify.AttackCounter
+}
+
+func newCounterStage(into *classify.AttackCounter) *counterStage {
+	return &counterStage{into: into, counter: classify.NewAttackCounter(classify.Config{})}
+}
+
+// Process implements pipe.Stage.
+func (c *counterStage) Process(b *pipe.Batch) error {
+	for i := range b.Recs {
+		c.counter.Add(&b.Recs[i])
+	}
+	return nil
+}
+
+// Close implements pipe.Stage.
+func (c *counterStage) Close() error {
+	c.into.Merge(c.counter)
+	return nil
+}
+
+// triggerSeries runs the trigger aggregation over src with par shards.
+func triggerSeries(src Source, w Window, par int) (map[amplify.Vector]*timeseries.Series, error) {
+	merged := newVectorSeries()
+	err := runSharded(src, par, func() pipe.Stage { return newTriggerStage(w, merged) })
 	if err != nil {
 		return nil, err
 	}
+	return merged, nil
+}
+
+// panelsFromSeries finishes Figure 4 from the merged trigger series.
+func panelsFromSeries(series map[amplify.Vector]*timeseries.Series, w Window, k trafficgen.Kind) ([]Figure4Panel, error) {
 	var out []Figure4Panel
 	for _, v := range ReflectorVectors {
 		label := fmt.Sprintf("packets %v dst port (%v)", v, k)
@@ -118,6 +190,23 @@ func Figure4Source(src Source, w Window, k trafficgen.Kind) ([]Figure4Panel, err
 	return out, nil
 }
 
+// Figure4 computes the to-reflector traffic analysis for one vantage
+// point of a scenario.
+func Figure4(s *trafficgen.Scenario, k trafficgen.Kind) ([]Figure4Panel, error) {
+	return Figure4Source(ScenarioSource(s, k), WindowOf(s.Config()), k, 1)
+}
+
+// Figure4Source computes the Figure 4 panels from any record stream —
+// live generation or a flowstore replay — over the given window,
+// sharded par ways. k labels the vantage point in the output.
+func Figure4Source(src Source, w Window, k trafficgen.Kind, par int) ([]Figure4Panel, error) {
+	series, err := triggerSeries(src, w, par)
+	if err != nil {
+		return nil, err
+	}
+	return panelsFromSeries(series, w, k)
+}
+
 // Figure5Result is the systems-under-attack analysis.
 type Figure5Result struct {
 	Vantage trafficgen.Kind
@@ -132,20 +221,12 @@ type Figure5Result struct {
 // per hour across the scenario and tests for a reduction at the
 // takedown.
 func Figure5(s *trafficgen.Scenario, k trafficgen.Kind) (*Figure5Result, error) {
-	return Figure5Source(ScenarioSource(s, k), WindowOf(s.Config()), k)
+	return Figure5Source(ScenarioSource(s, k), WindowOf(s.Config()), k, 1)
 }
 
-// Figure5Source computes the systems-under-attack analysis from any
-// record stream over the given window. The attack counter is a per-key
-// map aggregation, so the result is independent of record order.
-func Figure5Source(src Source, w Window, k trafficgen.Kind) (*Figure5Result, error) {
-	counter := classify.NewAttackCounter(classify.Config{})
-	if err := src(func(rec *flow.Record) error {
-		counter.Add(rec)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
+// figure5FromCounter finishes the Figure 5 analysis from the merged
+// attack counter.
+func figure5FromCounter(counter *classify.AttackCounter, w Window, k trafficgen.Kind) (*Figure5Result, error) {
 	hourly := counter.Series()
 
 	daily := timeseries.NewDaily()
@@ -162,6 +243,19 @@ func Figure5Source(src Source, w Window, k trafficgen.Kind) (*Figure5Result, err
 		return nil, fmt.Errorf("takedown: %s: %w", label, err)
 	}
 	return &Figure5Result{Vantage: k, Hourly: hourly, Metrics: metrics}, nil
+}
+
+// Figure5Source computes the systems-under-attack analysis from any
+// record stream over the given window, sharded par ways. The attack
+// counter is a per-victim map aggregation with an exact merge, so the
+// result is independent of record order and shard count.
+func Figure5Source(src Source, w Window, k trafficgen.Kind, par int) (*Figure5Result, error) {
+	counter := classify.NewAttackCounter(classify.Config{})
+	err := runSharded(src, par, func() pipe.Stage { return newCounterStage(counter) })
+	if err != nil {
+		return nil, err
+	}
+	return figure5FromCounter(counter, w, k)
 }
 
 // Robustness compares the parametric (Welch) and non-parametric
@@ -181,16 +275,12 @@ func (r Robustness) Agrees() bool { return r.WelchSig == r.RankSig }
 // Figure4Robustness runs both tests over the ±30-day window for each
 // reflector vector.
 func Figure4Robustness(s *trafficgen.Scenario, k trafficgen.Kind) ([]Robustness, error) {
-	return Figure4RobustnessSource(ScenarioSource(s, k), WindowOf(s.Config()))
+	return Figure4RobustnessSource(ScenarioSource(s, k), WindowOf(s.Config()), 1)
 }
 
-// Figure4RobustnessSource runs the parametric/non-parametric comparison
-// from any record stream.
-func Figure4RobustnessSource(src Source, w Window) ([]Robustness, error) {
-	series, err := triggerSeries(src, w)
-	if err != nil {
-		return nil, err
-	}
+// robustnessFromSeries finishes the test comparison from the merged
+// trigger series.
+func robustnessFromSeries(series map[amplify.Vector]*timeseries.Series, w Window) ([]Robustness, error) {
 	var out []Robustness
 	for _, v := range ReflectorVectors {
 		welch, err := timeseries.AnalyzeEvent(series[v], w.Takedown, 30)
@@ -211,27 +301,109 @@ func Figure4RobustnessSource(src Source, w Window) ([]Robustness, error) {
 	return out, nil
 }
 
+// Figure4RobustnessSource runs the parametric/non-parametric comparison
+// from any record stream, sharded par ways.
+func Figure4RobustnessSource(src Source, w Window, par int) ([]Robustness, error) {
+	series, err := triggerSeries(src, w, par)
+	if err != nil {
+		return nil, err
+	}
+	return robustnessFromSeries(series, w)
+}
+
+// Analysis bundles everything one pass over a vantage point's records
+// can produce.
+type Analysis struct {
+	Figure4    []Figure4Panel
+	Figure5    *Figure5Result
+	Robustness []Robustness
+}
+
+// Analyze computes Figure 4, Figure 5, and the robustness ablation in
+// a single sharded pass over the record stream: each shard runs the
+// trigger and attack-counter aggregations side by side on the same
+// batches, so the source is scanned once instead of once per figure.
+// Results are byte-identical to the separate per-figure passes at any
+// par.
+func Analyze(src Source, w Window, k trafficgen.Kind, par int) (*Analysis, error) {
+	series := newVectorSeries()
+	counter := classify.NewAttackCounter(classify.Config{})
+	err := runSharded(src, par, func() pipe.Stage {
+		return pipe.MultiStage(newTriggerStage(w, series), newCounterStage(counter))
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig4, err := panelsFromSeries(series, w, k)
+	if err != nil {
+		return nil, err
+	}
+	rob, err := robustnessFromSeries(series, w)
+	if err != nil {
+		return nil, err
+	}
+	fig5, err := figure5FromCounter(counter, w, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Figure4: fig4, Figure5: fig5, Robustness: rob}, nil
+}
+
 // DirectionBreakdown computes Figure 4-style metrics separately for
 // ingress and egress trigger traffic (the paper scanned all
 // port/direction combinations; the tier-2 ISP contributes both
 // directions).
 func DirectionBreakdown(s *trafficgen.Scenario, k trafficgen.Kind, v amplify.Vector) (map[flow.Direction]timeseries.TakedownMetrics, error) {
-	return DirectionBreakdownSource(ScenarioSource(s, k), WindowOf(s.Config()), k, v)
+	return DirectionBreakdownSource(ScenarioSource(s, k), WindowOf(s.Config()), k, v, 1)
+}
+
+// directionStage accumulates one shard's per-direction daily sums for
+// a single vector.
+type directionStage struct {
+	w      Window
+	v      amplify.Vector
+	into   map[flow.Direction]*timeseries.Series
+	series map[flow.Direction]*timeseries.Series
+}
+
+func newDirectionStage(w Window, v amplify.Vector, into map[flow.Direction]*timeseries.Series) *directionStage {
+	return &directionStage{
+		w: w, v: v, into: into,
+		series: map[flow.Direction]*timeseries.Series{
+			flow.Ingress: timeseries.NewDaily(),
+			flow.Egress:  timeseries.NewDaily(),
+		},
+	}
+}
+
+// Process implements pipe.Stage.
+func (d *directionStage) Process(b *pipe.Batch) error {
+	for i := range b.Recs {
+		rec := &b.Recs[i]
+		if rec.Protocol == packet.IPProtoUDP && rec.DstPort == d.v.Port() {
+			d.series[rec.Direction].Add(d.w.DayTime(rec.Start), float64(rec.ScaledPackets()))
+		}
+	}
+	return nil
+}
+
+// Close implements pipe.Stage.
+func (d *directionStage) Close() error {
+	for dir, s := range d.into {
+		s.Merge(d.series[dir])
+	}
+	return nil
 }
 
 // DirectionBreakdownSource computes the per-direction metrics from any
-// record stream.
-func DirectionBreakdownSource(src Source, w Window, k trafficgen.Kind, v amplify.Vector) (map[flow.Direction]timeseries.TakedownMetrics, error) {
+// record stream, sharded par ways.
+func DirectionBreakdownSource(src Source, w Window, k trafficgen.Kind, v amplify.Vector, par int) (map[flow.Direction]timeseries.TakedownMetrics, error) {
 	series := map[flow.Direction]*timeseries.Series{
 		flow.Ingress: timeseries.NewDaily(),
 		flow.Egress:  timeseries.NewDaily(),
 	}
-	if err := src(func(rec *flow.Record) error {
-		if rec.Protocol == packet.IPProtoUDP && rec.DstPort == v.Port() {
-			series[rec.Direction].Add(w.DayTime(rec.Start), float64(rec.ScaledPackets()))
-		}
-		return nil
-	}); err != nil {
+	err := runSharded(src, par, func() pipe.Stage { return newDirectionStage(w, v, series) })
+	if err != nil {
 		return nil, err
 	}
 	out := make(map[flow.Direction]timeseries.TakedownMetrics, 2)

@@ -50,6 +50,22 @@ func (s *Series) At(ts time.Time) float64 {
 // Len reports the number of non-empty bins.
 func (s *Series) Len() int { return len(s.bins) }
 
+// Merge folds other into s bin by bin. Counters in this repository are
+// integer-valued float64s well below 2^53, so merging per-shard series
+// is exact and order-independent — a sharded pass sums to the same
+// bins as a serial one. Both series must share a bin size.
+func (s *Series) Merge(other *Series) {
+	if other == nil {
+		return
+	}
+	if other.binSize != s.binSize {
+		panic(fmt.Sprintf("timeseries: merging bin size %v into %v", other.binSize, s.binSize))
+	}
+	for k, v := range other.bins {
+		s.bins[k] += v
+	}
+}
+
 // Point is one (time, value) sample.
 type Point struct {
 	Time  time.Time

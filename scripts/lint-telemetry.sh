@@ -17,12 +17,25 @@ EXEMPT="internal/telemetry"
 # they must define RegisterTelemetry even if the accessor heuristic
 # below would miss them. The flow archive is required: silent loss of
 # store accounting would hide dropped batches under fault injection.
-REQUIRED="internal/flowstore"
+# The batch pipeline is required: without its gauges an operator
+# cannot see backpressure (queue depth), leaks (batches in flight),
+# or slow stages (batch latency).
+REQUIRED="internal/flowstore internal/pipe"
 
 fail=0
 for dir in $REQUIRED; do
     if ! grep -q 'func.*RegisterTelemetry' "$dir"/*.go 2>/dev/null; then
         echo "lint-telemetry: $dir must expose its accounting via RegisterTelemetry" >&2
+        fail=1
+    fi
+done
+
+# The pipeline's observability contract: these metric names are what
+# the debug surface and the bench harness scrape, so renaming or
+# dropping one is a breaking change this lint makes loud.
+for name in pipe_batches_in_flight pipe_shard_queue_depth_max pipe_stage_batch_latency_seconds; do
+    if ! grep -q "\"$name\"" internal/pipe/*.go 2>/dev/null; then
+        echo "lint-telemetry: internal/pipe must register metric $name" >&2
         fail=1
     fi
 done
