@@ -1,22 +1,34 @@
 GO ?= go
 
-.PHONY: build test check race lint crash-recovery race-pipeline bench demo demo-lossy
+.PHONY: build test check race lint analyze crash-recovery race-pipeline bench demo demo-lossy
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package so
+# order-dependent tests (shared globals, leftover registry state) fail
+# loudly instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
-# check is the pre-merge gate: static analysis, lint, the flow-archive
-# crash-recovery scenario, the sharded-pipeline race scenario, plus the
-# full suite under the race detector.
-check: lint crash-recovery race-pipeline
+# check is the pre-merge gate: lint, the bsvet static-analysis suite,
+# the flow-archive crash-recovery scenario, the sharded-pipeline race
+# scenario, plus the full suite under the race detector.
+check: lint analyze crash-recovery race-pipeline
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# analyze runs booterscope's repo-invariant static-analysis suite
+# (cmd/bsvet): determinism (no wall-clock or global-rand reads in
+# simulation packages), batchownership (no use of a pipe.Batch after
+# hand-off), telemetry (registry registration, metric-name prefixes,
+# label-cardinality caps). Diagnostics come out in the standard vet
+# file:line:col format and any finding fails the build.
+analyze:
+	$(GO) run ./cmd/bsvet ./...
 
 # race-pipeline drives the fan-out/merge machinery and the sharded
 # classifier under the race detector with the test cache defeated, so
@@ -37,15 +49,14 @@ bench:
 crash-recovery:
 	$(GO) test ./internal/flowstore -run 'TestCrashRecovery|TestDeterministicLayout' -count=1
 
-# lint enforces formatting and the telemetry-registration rule: a
-# package with bespoke Stats()/Health()/Ledger() accessors must expose
-# the same accounting through the telemetry registry.
+# lint enforces formatting. The telemetry-registration rule that used
+# to live in scripts/lint-telemetry.sh is now the type-aware telemetry
+# analyzer in `make analyze`.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
-	sh scripts/lint-telemetry.sh
 
 demo:
 	$(GO) run ./cmd/collector -demo -listen 127.0.0.1:0

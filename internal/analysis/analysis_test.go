@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bufio"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantMarkerRE recognizes an expectation comment: `// want "…"` with
+// an optional signed line offset (`// want:-1 "…"`). Requiring the
+// quote keeps prose that merely mentions want comments from parsing as
+// one.
+var wantMarkerRE = regexp.MustCompile(`// want(?::([+-]?\d+))? (?:")`)
+
+// wantRE matches one expectation inside a `// want` comment: a Go
+// double-quoted string holding a regexp the diagnostic message must
+// match.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want` entry: a message pattern anchored to a
+// file and line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans every .go file in dir for `// want` comments. The
+// plain form anchors to its own line; `// want:-1 "…"` (any signed
+// offset) anchors relative to the comment's line — needed where a
+// trailing comment would be swallowed by another directive's text.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			m := wantMarkerRE.FindStringSubmatchIndex(text)
+			if m == nil {
+				continue
+			}
+			offset := 0
+			if m[2] >= 0 {
+				n, err := strconv.Atoi(text[m[2]:m[3]])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want offset %q", path, line, text[m[2]:m[3]])
+				}
+				offset = n
+			}
+			// m[1] sits just past the opening quote; back up one so the
+			// first quoted pattern is matched whole.
+			quoted := wantRE.FindAllString(text[m[1]-1:], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: // want comment with no quoted pattern", path, line)
+			}
+			for _, q := range quoted {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", path, line, q, err)
+				}
+				re, err := regexp.Compile(s)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, s, err)
+				}
+				wants = append(wants, &expectation{file: path, line: line + offset, pattern: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// loadTestdata loads one testdata package through the real loader.
+func loadTestdata(t *testing.T, name string) *Pkg {
+	t.Helper()
+	pkgs, err := Load("", "./testdata/"+name)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading testdata/%s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// runGolden checks a suite's findings for one testdata package against
+// its `// want` expectations: every expectation must be hit at its
+// exact file:line, and no unexpected diagnostic may appear.
+func runGolden(t *testing.T, suite *Suite, name string) {
+	t.Helper()
+	pkg := loadTestdata(t, name)
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("testdata/%s failed to load: %v", name, pkg.Errs[0])
+	}
+	wants := parseWants(t, pkg.Dir)
+	for _, d := range suite.Run([]*Pkg{pkg}) {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// testdataPath returns the module import path of a testdata package.
+func testdataPath(name string) string {
+	return "booterscope/internal/analysis/testdata/" + name
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	suite := NewSuite(NewDeterminism(testdataPath("determ")))
+	runGolden(t, suite, "determ")
+}
+
+func TestBatchOwnershipGolden(t *testing.T) {
+	suite := NewSuite(NewBatchOwnership())
+	runGolden(t, suite, "batchown")
+}
+
+func TestTelemetryGolden(t *testing.T) {
+	suite := NewSuite(NewTelemetry(TelemetryConfig{}))
+	runGolden(t, suite, "telem")
+}
+
+func TestTelemetryRequiredGolden(t *testing.T) {
+	suite := NewSuite(NewTelemetry(TelemetryConfig{
+		RequiredPaths: []string{testdataPath("telemreq")},
+		RequiredMetrics: map[string][]string{
+			testdataPath("telemreq"): {"telemreq_required_total"},
+		},
+	}))
+	runGolden(t, suite, "telemreq")
+}
+
+func TestDirectiveErrorsGolden(t *testing.T) {
+	// The determinism analyzer is in the suite so the unsuppressed
+	// findings below the broken directives are exercised too.
+	suite := NewSuite(NewDeterminism(testdataPath("dirbad")))
+	runGolden(t, suite, "dirbad")
+}
+
+// TestBrokenPackageReportsError pins the driver contract for a package
+// that fails to type-check: a positioned "typecheck" diagnostic, no
+// panic, and no analyzer findings from the broken syntax tree.
+func TestBrokenPackageReportsError(t *testing.T) {
+	pkg := loadTestdata(t, "broken")
+	if len(pkg.Errs) == 0 {
+		t.Fatal("broken package loaded without errors")
+	}
+	suite := NewSuite(NewDeterminism(), NewBatchOwnership(), NewTelemetry(TelemetryConfig{}))
+	diags := suite.Run([]*Pkg{pkg})
+	if len(diags) == 0 {
+		t.Fatal("broken package produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Rule != "typecheck" {
+			t.Errorf("broken package produced a %q diagnostic, want only typecheck: %s", d.Rule, d)
+		}
+	}
+	first := diags[0]
+	if !strings.HasSuffix(first.Pos.Filename, "broken.go") || first.Pos.Line == 0 {
+		t.Errorf("typecheck diagnostic not positioned in broken.go: %s", first)
+	}
+	if !strings.Contains(first.Message, "cannot use") {
+		t.Errorf("typecheck diagnostic does not carry the compiler message: %s", first)
+	}
+}
+
+// TestCleanTreeStaysClean runs the full production suite configuration
+// over a package known to be clean, as a smoke test that the loader
+// handles real dependency graphs (telemetry, pipe, flow) end to end.
+func TestCleanTreeStaysClean(t *testing.T) {
+	pkgs, err := Load("", "../../internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := NewSuite(
+		NewDeterminism("booterscope/internal/stats"),
+		NewBatchOwnership(),
+		NewTelemetry(TelemetryConfig{}),
+	)
+	if diags := suite.Run(pkgs); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestDiagnosticFormat pins the vet output format editors parse.
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Rule:    "determinism",
+		Message: "boom",
+	}
+	if got, want := d.String(), "x.go:3:7: determinism: boom"; got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}

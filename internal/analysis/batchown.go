@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// batchPkgPath is the package whose Batch type carries the linear
+// ownership contract this analyzer encodes.
+const batchPkgPath = "booterscope/internal/pipe"
+
+// BatchOwnership flags any use of a pipe.Batch value after it has been
+// handed off within the same statement block. A released batch returns
+// to a sync.Pool and its backing arrays are recycled by the next
+// NewBatch anywhere in the process — so a use-after-hand-off is silent
+// data corruption the race detector cannot reliably catch (the memory
+// is still live, just owned by someone else). DESIGN.md §9 states the
+// contract in prose; this analyzer makes it mechanical.
+//
+// A batch variable is considered consumed by:
+//
+//   - b.Release() — the batch returns to the pool;
+//   - ch <- b — ownership transfers to the receiving goroutine;
+//   - sync.Pool Put(b) — the raw form of Release;
+//   - emit(b) / any call through a parameter or variable of type
+//     func(*pipe.Batch) error — the pipeline's Source contract hands
+//     ownership of emitted batches to the callback.
+//
+// Any later read of the same variable inside the same block (or a
+// block nested under a later statement) is flagged. The analysis is
+// per-block and flow-insensitive across branches: a consume inside an
+// if-arm does not poison code after the if statement (both arms would
+// have to be tracked), and `defer b.Release()` never consumes — the
+// deferred call runs at function exit, after every use. Reassigning
+// the variable (b = pipe.NewBatch()) starts a fresh ownership.
+type BatchOwnership struct{}
+
+// NewBatchOwnership builds the analyzer.
+func NewBatchOwnership() *BatchOwnership { return &BatchOwnership{} }
+
+// Name implements Analyzer.
+func (*BatchOwnership) Name() string { return "batchownership" }
+
+// Check implements Analyzer.
+func (b *BatchOwnership) Check(pkg *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				bo := &batchOwnChecker{pkg: pkg}
+				bo.block(body, map[*types.Var]*consumeEvent{})
+				out = append(out, bo.diags...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// consumeEvent records where and how a batch variable was consumed.
+type consumeEvent struct {
+	pos  token.Pos
+	what string
+}
+
+type batchOwnChecker struct {
+	pkg   *Pkg
+	diags []Diagnostic
+}
+
+// isBatchVar resolves id to a *types.Var of type *pipe.Batch (or
+// pipe.Batch), else nil.
+func (c *batchOwnChecker) isBatchVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := c.pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = c.pkg.Info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if named.Obj().Name() != "Batch" || named.Obj().Pkg().Path() != batchPkgPath {
+		return nil
+	}
+	return v
+}
+
+// block walks stmts in order. consumed maps batch variables to the
+// hand-off that ended their ownership; the map is copied into nested
+// blocks so branch-local consumes stay branch-local while outer
+// consumes still poison nested uses.
+func (c *batchOwnChecker) block(blk *ast.BlockStmt, consumed map[*types.Var]*consumeEvent) {
+	for _, stmt := range blk.List {
+		c.stmt(stmt, consumed)
+	}
+}
+
+// stmt processes one statement: report uses of already-consumed
+// batches, then record this statement's own consumes and resets.
+func (c *batchOwnChecker) stmt(stmt ast.Stmt, consumed map[*types.Var]*consumeEvent) {
+	switch s := stmt.(type) {
+	case *ast.DeferStmt:
+		// defer b.Release() runs at function exit; it neither uses the
+		// batch now nor forbids uses below it.
+		return
+	case *ast.GoStmt:
+		// A goroutine's schedule is unknown; treat its arguments as
+		// uses at the go statement but do not track its body.
+		c.reportUses(s.Call, consumed)
+		return
+	case *ast.BlockStmt:
+		c.block(s, copyConsumed(consumed))
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, consumed)
+		}
+		c.reportUses(s.Cond, consumed)
+		c.block(s.Body, copyConsumed(consumed))
+		if s.Else != nil {
+			c.stmt(s.Else, copyConsumed(consumed))
+		}
+		return
+	case *ast.ForStmt:
+		inner := copyConsumed(consumed)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.reportUses(s.Cond, inner)
+		}
+		c.block(s.Body, inner)
+		return
+	case *ast.RangeStmt:
+		c.reportUses(s.X, consumed)
+		c.block(s.Body, copyConsumed(consumed))
+		return
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Each case arm is its own branch; walk arms with copies.
+		c.branchArms(stmt, consumed)
+		return
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, consumed)
+		return
+	case *ast.AssignStmt:
+		// A plain `b = …` overwrites the variable — that is a fresh
+		// ownership, not a read — so only the RHS and any non-ident
+		// LHS (b.Recs = …, arr[i] = …) count as uses.
+		for _, rhs := range s.Rhs {
+			c.reportUses(rhs, consumed)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				c.reportUses(lhs, consumed)
+			}
+		}
+		c.recordConsumes(stmt, consumed)
+		c.recordResets(stmt, consumed)
+		return
+	}
+
+	// Straight-line statement: uses first, then consumes/resets.
+	c.reportUses(stmt, consumed)
+	c.recordConsumes(stmt, consumed)
+	c.recordResets(stmt, consumed)
+}
+
+// branchArms walks the case clauses of switch/select statements.
+func (c *batchOwnChecker) branchArms(stmt ast.Stmt, consumed map[*types.Var]*consumeEvent) {
+	var body *ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, consumed)
+		}
+		if s.Tag != nil {
+			c.reportUses(s.Tag, consumed)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	for _, clause := range body.List {
+		arm := copyConsumed(consumed)
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, st := range cl.Body {
+				c.stmt(st, arm)
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm, arm)
+			}
+			for _, st := range cl.Body {
+				c.stmt(st, arm)
+			}
+		}
+	}
+}
+
+// reportUses flags every identifier under n that reads a consumed
+// batch variable.
+func (c *batchOwnChecker) reportUses(n ast.Node, consumed map[*types.Var]*consumeEvent) {
+	if n == nil || len(consumed) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		// Do not descend into function literals: they execute later
+		// (or are the deferred cleanup) and track their own blocks.
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if ev, ok := consumed[v]; ok {
+			c.diags = append(c.diags, diag(c.pkg, id.Pos(), "batchownership",
+				"batch %s used after %s at line %d; ownership was handed off (slab may already be recycled)",
+				id.Name, ev.what, c.pkg.Fset.Position(ev.pos).Line))
+		}
+		return true
+	})
+}
+
+// recordConsumes scans one straight-line statement for hand-offs.
+func (c *batchOwnChecker) recordConsumes(stmt ast.Stmt, consumed map[*types.Var]*consumeEvent) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if v := c.isBatchVar(n.Value); v != nil {
+				consumed[v] = &consumeEvent{pos: n.Pos(), what: "channel send"}
+			}
+		case *ast.CallExpr:
+			c.consumeCall(n, consumed)
+		}
+		return true
+	})
+}
+
+// consumeCall handles the call forms that transfer batch ownership.
+func (c *batchOwnChecker) consumeCall(call *ast.CallExpr, consumed map[*types.Var]*consumeEvent) {
+	// b.Release() and pool.Put(b).
+	if fn := funcFor(c.pkg, call); fn != nil {
+		switch {
+		case fn.Name() == "Release" && pkgPathOf(fn) == batchPkgPath:
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if v := c.isBatchVar(sel.X); v != nil {
+					consumed[v] = &consumeEvent{pos: call.Pos(), what: "Release"}
+				}
+			}
+			return
+		case fn.Name() == "Put" && pkgPathOf(fn) == "sync":
+			if len(call.Args) == 1 {
+				if v := c.isBatchVar(call.Args[0]); v != nil {
+					consumed[v] = &consumeEvent{pos: call.Pos(), what: "Pool.Put"}
+				}
+			}
+			return
+		}
+	}
+	// emit(b): a call through a func(*pipe.Batch) error value — the
+	// Source contract hands ownership to the callback.
+	tv, ok := c.pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return
+	}
+	if funcFor(c.pkg, call) != nil {
+		// Declared functions and methods keep the caller's ownership
+		// (pipe.Stage.Process documents exactly that); only bare
+		// func-valued calls — the emit callback pattern — consume.
+		return
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return
+	}
+	if !isBatchPtr(sig.Params().At(0).Type()) || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	if len(call.Args) == 1 {
+		if v := c.isBatchVar(call.Args[0]); v != nil {
+			consumed[v] = &consumeEvent{pos: call.Pos(), what: "emit hand-off"}
+		}
+	}
+}
+
+// recordResets clears consumption for variables reassigned by stmt.
+func (c *batchOwnChecker) recordResets(stmt ast.Stmt, consumed map[*types.Var]*consumeEvent) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var v *types.Var
+		if def, ok := c.pkg.Info.Defs[id].(*types.Var); ok {
+			v = def
+		} else if use, ok := c.pkg.Info.Uses[id].(*types.Var); ok {
+			v = use
+		}
+		if v != nil {
+			delete(consumed, v)
+		}
+	}
+}
+
+// copyConsumed clones the consumed map for a nested branch.
+func copyConsumed(m map[*types.Var]*consumeEvent) map[*types.Var]*consumeEvent {
+	out := make(map[*types.Var]*consumeEvent, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// isBatchPtr reports whether t is *pipe.Batch.
+func isBatchPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Batch" && named.Obj().Pkg().Path() == batchPkgPath
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// directivePrefix introduces an allow directive:
+//
+//	//bsvet:allow <rule> <reason...>
+//
+// No space after // — the Go convention for machine-readable
+// directives (gofmt preserves them verbatim and they never read as
+// prose documentation).
+const directivePrefix = "//bsvet:allow"
+
+// allowSet records, per file and line, which rules are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+// allows reports whether d is suppressed by a directive on its own
+// line or on the line directly above.
+func (s allowSet) allows(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
+}
+
+// add marks rule as allowed on (file, line).
+func (s allowSet) add(file string, line int, rule string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	rules := lines[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		lines[line] = rules
+	}
+	rules[rule] = true
+}
+
+// collectDirectives scans every comment in pkg for allow directives.
+// Well-formed directives land in the returned allowSet; a directive
+// naming a rule outside rules, or missing its mandatory reason, is
+// reported as a "directive" diagnostic — a suppression that silently
+// did nothing would be worse than the finding it meant to hide.
+func collectDirectives(pkg *Pkg, rules map[string]bool) (allowSet, []Diagnostic) {
+	allowed := make(allowSet)
+	var errs []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// Another directive namespace (e.g. //bsvet:allowx);
+					// not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					errs = append(errs, Diagnostic{Pos: pos, Rule: "directive",
+						Message: "bsvet:allow needs a rule name and a reason"})
+					continue
+				}
+				rule := fields[0]
+				if !rules[rule] {
+					errs = append(errs, Diagnostic{Pos: pos, Rule: "directive",
+						Message: "bsvet:allow names unknown rule " + strconv.Quote(rule) + " (known: " + strings.Join(sortedRules(rules), ", ") + ")"})
+					continue
+				}
+				if len(fields) < 2 {
+					errs = append(errs, Diagnostic{Pos: pos, Rule: "directive",
+						Message: "bsvet:allow " + rule + " needs a reason"})
+					continue
+				}
+				allowed.add(pos.Filename, pos.Line, rule)
+			}
+		}
+	}
+	return allowed, errs
+}
+
+// sortedRules lists the known rule names in sorted order for error
+// messages.
+func sortedRules(rules map[string]bool) []string {
+	out := make([]string, 0, len(rules))
+	for r := range rules {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,10 @@
+// Package broken fails to type-check on purpose: the driver must
+// surface a positioned error for it, never a panic, and must not run
+// analyzers over it.
+package broken
+
+// Mismatched returns a string where an int is declared.
+func Mismatched() int {
+	var s string = 42
+	return s
+}

@@ -1,0 +1,81 @@
+// Package determ seeds deliberate determinism violations for the
+// golden-diagnostic tests: every line carrying a `// want` comment must
+// be reported by the determinism analyzer at exactly that position,
+// and no other line may be.
+package determ
+
+import (
+	"fmt"
+	"io"
+	mrand "math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+// WallClock reads the host clock three ways.
+func WallClock(t0 time.Time) (time.Time, time.Duration, time.Duration) {
+	now := time.Now()         // want "time.Now depends on the host wall clock"
+	since := time.Since(t0)   // want "time.Since depends on the host wall clock"
+	until := time.Until(t0)   // want "time.Until depends on the host wall clock"
+	_ = t0.Sub(now)           // method on a value already obtained: fine
+	_ = time.Unix(0, 0).UTC() // pure computation: fine
+	return now, since, until
+}
+
+// Timers wait on the host clock; storing one as an injectable waiter
+// is still wall-clock code on the production path.
+func Timers() func(time.Duration) {
+	time.Sleep(0)     // want "time.Sleep depends on the host wall clock"
+	return time.Sleep // want "time.Sleep depends on the host wall clock"
+}
+
+// GlobalRand draws from the process-global sources of both rand
+// packages.
+func GlobalRand() (int, float64) {
+	a := mrand.Intn(10)                 // want "draws from the process-global random source"
+	b := randv2.Float64()               // want "draws from the process-global random source"
+	mrand.Shuffle(1, func(i, j int) {}) // want "draws from the process-global random source"
+	return a, b
+}
+
+// SeededRand uses explicit sources: every call here is deterministic
+// and must not be flagged.
+func SeededRand(seed int64) (int, uint64) {
+	r := mrand.New(mrand.NewSource(seed))
+	p := randv2.New(randv2.NewPCG(uint64(seed), 1))
+	return r.Intn(10), p.Uint64()
+}
+
+// MapOrderOut iterates a map straight into output sinks.
+func MapOrderOut(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "range over map: iteration order is randomized"
+	}
+	for k := range m {
+		_, _ = w.Write([]byte(k)) // want "range over map: iteration order is randomized"
+	}
+}
+
+// MapOrderSorted collects and sorts before emitting — the required
+// idiom, not flagged.
+func MapOrderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Allowed carries the directive forms that legitimately suppress a
+// finding: trailing on the flagged line, and standalone on the line
+// above.
+func Allowed() time.Time {
+	t := time.Now() //bsvet:allow determinism testdata exercises the trailing directive form
+	//bsvet:allow determinism testdata exercises the standalone directive form
+	u := time.Now()
+	return t.Add(time.Until(u)) // want "time.Until depends on the host wall clock"
+}

@@ -1,0 +1,35 @@
+// Package telem seeds deliberate telemetry-contract violations: a
+// bespoke Stats() accessor with no RegisterTelemetry, malformed and
+// wrongly-prefixed metric names, and a label-cardinality cap above the
+// registry default.
+package telem
+
+import "booterscope/internal/telemetry"
+
+// Accounting carries bespoke accounting with no registry view.
+type Accounting struct {
+	handled uint64
+}
+
+// StatsOf is a free function, not an accessor method: the analyzer
+// must not key on it.
+func StatsOf(a *Accounting) uint64 { return a.handled }
+
+// Stats is the method-form accessor the analyzer keys on: with no
+// RegisterTelemetry anywhere in the package, it is the seeded
+// violation.
+func (a *Accounting) Stats() uint64 { return a.handled } // want "defines a Stats\\(\\) accessor but no RegisterTelemetry"
+
+// Wire registers metrics with seeded naming and cardinality
+// violations.
+func Wire(r *telemetry.Registry) {
+	r.MustRegister("telem_requests_total", "well-formed and correctly prefixed", telemetry.NewCounter())
+	r.MustRegister("Telem_Bad_Name", "malformed", telemetry.NewCounter())            // want "does not match component_subsystem_name_unit"
+	r.MustRegister("otherpkg_requests_total", "wrong owner", telemetry.NewCounter()) // want "must start with the owning component prefix"
+	_ = r.Counter("telem_lazy_total", "registry getter, fine")
+	_ = r.Counter("stray_lazy_total", "registry getter, wrong prefix") // want "must start with the owning component prefix"
+
+	_ = telemetry.NewCounterVec("kind").SetMaxCardinality(8)
+	_ = telemetry.NewCounterVec("kind").SetMaxCardinality(128) // want "outside \\[1, 64\\]"
+	_ = telemetry.NewCounterVec("kind").SetMaxCardinality(0)   // want "outside \\[1, 64\\]"
+}

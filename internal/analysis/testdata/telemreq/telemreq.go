@@ -1,0 +1,8 @@
+// Package telemreq is listed (by the test config) as a package whose
+// registry wiring is load-bearing: it must define RegisterTelemetry
+// and register the required metric names, and it deliberately does
+// neither.
+package telemreq // want "must define RegisterTelemetry" "must register metric \"telemreq_required_total\""
+
+// Work is here so the package has content beyond the package clause.
+func Work() int { return 1 }

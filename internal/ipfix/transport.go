@@ -92,7 +92,7 @@ func NewExporterConn(conn net.Conn, domainID uint32) *Exporter {
 	return &Exporter{
 		conn:  conn,
 		enc:   Encoder{DomainID: domainID},
-		sleep: time.Sleep,
+		sleep: time.Sleep, //bsvet:allow determinism exporter backoff waits on host time; tests inject a fake sleeper
 		m:     newExporterMetrics(),
 	}
 }

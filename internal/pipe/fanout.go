@@ -101,9 +101,9 @@ func (f *FanOut) worker(s int) {
 			b.Release()
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //bsvet:allow determinism stage latency telemetry measures host time, not simulated time
 		err := f.shards[s].Process(b)
-		metricStageLatency.ObserveDuration(time.Since(start))
+		metricStageLatency.ObserveDuration(time.Since(start)) //bsvet:allow determinism stage latency telemetry measures host time, not simulated time
 		b.Release()
 		if err != nil {
 			metricStageErrors.Inc()
@@ -175,9 +175,9 @@ func (f *FanOut) flush(s int) error {
 	f.pending[s] = NewBatch()
 	metricBatchesRouted.Inc()
 	if f.inline {
-		start := time.Now()
+		start := time.Now() //bsvet:allow determinism stage latency telemetry measures host time, not simulated time
 		err := f.shards[s].Process(p)
-		metricStageLatency.ObserveDuration(time.Since(start))
+		metricStageLatency.ObserveDuration(time.Since(start)) //bsvet:allow determinism stage latency telemetry measures host time, not simulated time
 		p.Release()
 		if err != nil {
 			metricStageErrors.Inc()

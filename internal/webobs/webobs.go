@@ -88,6 +88,7 @@ func GenerateCert(domain string, profile CertProfile, notBefore time.Time) (*x50
 	}
 	subject := pkix.Name{CommonName: domain}
 	tpl := &x509.Certificate{
+		//bsvet:allow determinism TLS certificate serials are nonces, never analysis input
 		SerialNumber:          big.NewInt(time.Now().UnixNano()),
 		Subject:               subject,
 		Issuer:                pkix.Name{CommonName: profile.issuerName(domain)},
