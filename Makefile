@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint analyze crash-recovery race-pipeline bench demo demo-lossy
+.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos race-pipeline bench demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,10 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # check is the pre-merge gate: lint, the bsvet static-analysis suite,
-# the flow-archive crash-recovery scenario, the sharded-pipeline race
-# scenario, plus the full suite under the race detector.
-check: lint analyze crash-recovery race-pipeline
+# the flow-archive crash-recovery scenario, the daemon
+# checkpoint-chaos scenario, the sharded-pipeline race scenario, plus
+# the full suite under the race detector.
+check: lint analyze crash-recovery checkpoint-chaos race-pipeline
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
 
@@ -41,6 +42,15 @@ race-pipeline:
 # by the PR gate (records/s per path plus the speedup ratio).
 bench:
 	BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test ./internal/core -run TestWriteBenchArtifact -count=1 -v
+
+# checkpoint-chaos kills the detection daemon's snapshot writer at
+# every write offset and restarts it: the previous snapshot must be
+# adopted, the flow archive replayed past its durability watermark,
+# and the result must match a never-restarted daemon byte-identically
+# (-count=1 defeats the test cache so the gate always runs the crash
+# matrix).
+checkpoint-chaos:
+	$(GO) test ./internal/service -run 'TestCheckpointRestoreMatchesUninterrupted|TestCheckpointCrashAtEveryWriteOffset' -count=1
 
 # crash-recovery replays the torn-segment scenario end to end: injected
 # write faults, a manually torn tail, and a reopen that must adopt every

@@ -1,13 +1,30 @@
 // Command collector is a production-style IPFIX collector with live NTP
-// amplification detection: it listens for export packets over UDP,
-// decodes them, and raises one alert line per victim crossing the
-// study's conservative attack thresholds. On shutdown it prints the
-// full loss accounting — sequence gaps, shed datagrams, decode errors,
-// and monitor capacity events — so degraded collection is never silent.
+// amplification detection, run as an always-on daemon: it listens for
+// export packets over UDP, decodes them, and raises one alert line per
+// victim crossing the study's conservative attack thresholds.
+//
+// Daemon lifecycle (see DESIGN.md §11):
+//
+//   - -checkpoint.dir enables crash safety: monitor state is snapshotted
+//     atomically every -checkpoint.every, and a restarted collector
+//     restores the last snapshot and replays the -store.dir archive past
+//     its durability watermark — detection resumes with no gap in the
+//     minute-bin series and no double counting.
+//   - SIGTERM/SIGINT drain gracefully: /healthz flips to 503 first, the
+//     socket closes, shard queues flush, a final checkpoint is
+//     published, mitigations are withdrawn, and the full loss
+//     accounting prints — degraded collection is never silent.
+//   - SIGHUP re-reads the -thresholds file and swaps the classifier
+//     config in-process; the UDP socket is untouched.
+//   - Under overload the daemon walks a declared degradation ladder
+//     (widen sampling, then stop archiving) to protect its detection
+//     latency SLO; classification itself is never shed.
+//   - -mitigate closes the detect→mitigate loop, emitting BGP FlowSpec
+//     discard rules on sustained attacks and withdrawing them on drain.
 //
 // With -demo it additionally spins up an internal exporter feeding a day
 // of synthetic tier-2 traffic through the socket and exits when done —
-// a self-contained end-to-end demonstration. Adding -loss (and
+// through the same drain barrier as SIGTERM. Adding -loss (and
 // optionally -reorder, -chaosseed) routes the demo traffic through a
 // chaos.Proxy so the degraded-collection accounting can be watched
 // live:
@@ -16,14 +33,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"booterscope/internal/bgp"
 	"booterscope/internal/chaos"
 	"booterscope/internal/classify"
 	"booterscope/internal/core"
@@ -31,6 +54,7 @@ import (
 	"booterscope/internal/flowstore"
 	"booterscope/internal/ipfix"
 	"booterscope/internal/pipe"
+	"booterscope/internal/service"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
 	"booterscope/internal/trafficgen"
@@ -40,19 +64,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("collector: ")
 	var (
-		listen    = flag.String("listen", "127.0.0.1:4739", "UDP listen address (4739 is the IPFIX port)")
-		demo      = flag.Bool("demo", false, "feed a day of synthetic traffic through the socket and exit")
-		seed      = flag.Uint64("seed", 1, "demo traffic seed")
-		scale     = flag.Float64("scale", 0.3, "demo traffic scale")
-		loss      = flag.Float64("loss", 0, "demo fault injection: datagram drop rate through chaos.Proxy")
-		reorder   = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
-		chaosSeed = flag.Uint64("chaosseed", 7, "fault injection seed")
-		dashEvery = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
-		storeDir  = flag.String("store.dir", "", "persist decoded flow records into a flowstore archive at this directory")
-		par       = flag.Int("parallelism", 0, "detection pipeline shard count: 0 = NumCPU, 1 = serial (alerts identical)")
+		listen     = flag.String("listen", "127.0.0.1:4739", "UDP listen address (4739 is the IPFIX port)")
+		demo       = flag.Bool("demo", false, "feed a day of synthetic traffic through the socket and exit")
+		seed       = flag.Uint64("seed", 1, "demo traffic seed")
+		scale      = flag.Float64("scale", 0.3, "demo traffic scale")
+		loss       = flag.Float64("loss", 0, "demo fault injection: datagram drop rate through chaos.Proxy")
+		reorder    = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
+		chaosSeed  = flag.Uint64("chaosseed", 7, "fault injection seed")
+		dashEvery  = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
+		storeDir   = flag.String("store.dir", "", "persist decoded flow records into a flowstore archive at this directory")
+		par        = flag.Int("parallelism", 0, "detection pipeline shard count: 0 = NumCPU, 1 = serial (alerts identical)")
+		ckptDir    = flag.String("checkpoint.dir", "", "checkpoint monitor state into this directory (enables restore-on-start)")
+		ckptEvery  = flag.Duration("checkpoint.every", time.Minute, "checkpoint interval (with -checkpoint.dir)")
+		evalEvery  = flag.Duration("slo.every", 5*time.Second, "overload/SLO evaluation interval")
+		sloP99     = flag.Duration("slo.p99", 0, "detection-latency p99 objective (0: 250ms default)")
+		mitigate   = flag.Bool("mitigate", false, "announce BGP FlowSpec discard rules on sustained attacks")
+		thresholds = flag.String("thresholds", "", "JSON file with classifier thresholds; re-read on SIGHUP (empty: paper defaults)")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	cfg, err := loadThresholds(*thresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	col, err := ipfix.NewCollector(*listen)
 	if err != nil {
@@ -64,18 +99,6 @@ func main() {
 	reg := telemetry.Default()
 	col.RegisterTelemetry(reg)
 	pipe.RegisterTelemetry(reg)
-
-	// Live detection runs on the batch pipeline: decoded records fan out
-	// by victim hash to one monitor shard per worker, with watermark
-	// stamping keeping eviction identical to a serial monitor.
-	var alerts atomic.Int64
-	monitor := classify.NewShardedMonitor(classify.Config{}, pipe.Parallelism(*par))
-	monitor.RegisterTelemetry(reg)
-	monitor.OnAlert = func(a classify.Alert) {
-		alerts.Add(1)
-		fmt.Println(a)
-	}
-	fan := monitor.FanOut()
 
 	var store *flowstore.Store
 	if *storeDir != "" {
@@ -91,6 +114,50 @@ func main() {
 				r.RecoveredSegments, r.RecoveredRecords, r.TornSegments, r.TruncatedBytes)
 		}
 		fmt.Printf("archiving decoded records to %s\n", *storeDir)
+	}
+
+	// The detection daemon: sharded monitor behind the fan-out, with
+	// checkpoint/restore, the overload ladder, and the mitigation loop.
+	var alerts atomic.Int64
+	svc, err := service.New(service.Options{
+		Classify:      cfg,
+		Parallelism:   *par,
+		CheckpointDir: *ckptDir,
+		Store:         store,
+		OnAlert: func(a classify.Alert) {
+			alerts.Add(1)
+			fmt.Println(a)
+		},
+		Mitigation: service.MitigationOptions{
+			Enabled:  *mitigate,
+			Announce: func(r bgp.FlowSpecRule) { fmt.Printf("mitigate: announce %s\n", r) },
+			Withdraw: func(r bgp.FlowSpecRule) { fmt.Printf("mitigate: withdraw %s\n", r) },
+		},
+		SLO:        service.SLOOptions{TargetP99: *sloP99},
+		QueueDepth: col.QueueDepth,
+		Registry:   reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rr := svc.Restore(); rr.Corrupt {
+		log.Print("checkpoint corrupt: cold start (archive replay rebuilds state)")
+	} else if rr.Restored {
+		wm := "none"
+		if rr.Watermark != math.MinInt64 {
+			wm = time.Unix(rr.Watermark, 0).UTC().Format(time.RFC3339)
+		}
+		fmt.Printf("restored checkpoint: watermark %s, seq %d, %d archive records covered\n",
+			wm, rr.Seq, rr.StoreDurable)
+	}
+	if store != nil && *ckptDir != "" {
+		n, err := svc.ReplayFromStore()
+		if err != nil {
+			log.Fatalf("archive replay: %v", err)
+		}
+		if n > 0 {
+			fmt.Printf("replayed %d archive records past the checkpoint watermark\n", n)
+		}
 	}
 
 	srv, err := debugserver.Start(*debugAddr, reg)
@@ -113,18 +180,10 @@ func main() {
 		defer close(done)
 		err := col.Run(func(recs []flow.Record) {
 			records.Add(int64(len(recs)))
-			if store != nil {
-				// Append failures are accounted in the store ledger
-				// (RecordsDropped) — degraded archiving is never silent.
-				if err := store.Append(recs); err != nil {
-					log.Printf("store append: %v", err)
-				}
-			}
-			// The fan-out copies records into per-shard slabs, so the
-			// decoder may reuse recs as soon as Process returns. A
-			// stack batch keeps the decoder's slice out of the pool.
-			b := pipe.Batch{Recs: recs}
-			if err := fan.Process(&b); err != nil {
+			// Ingest archives (unless shed) and fans out to the monitor
+			// shards; the fan-out copies records into per-shard slabs, so
+			// the decoder may reuse recs as soon as it returns.
+			if err := svc.Ingest(recs); err != nil && !errors.Is(err, service.ErrDraining) {
 				log.Printf("detection pipeline: %v", err)
 			}
 		})
@@ -132,6 +191,47 @@ func main() {
 			log.Print(err)
 		}
 	}()
+
+	serveCtx, stopServe := context.WithCancel(context.Background())
+	defer stopServe()
+	go svc.Serve(serveCtx, *ckptEvery, *evalEvery)
+
+	// shutdown is the single drain barrier every exit path goes
+	// through — demo completion and SIGTERM/SIGINT alike: probes flip
+	// to draining, the socket closes, shard queues flush, the final
+	// checkpoint publishes, mitigations are withdrawn.
+	shutdown := func(reason string) {
+		fmt.Printf("draining (%s)\n", reason)
+		if srv != nil {
+			srv.SetDraining(true) // probes fail before the socket closes
+		}
+		stopServe()
+		col.Close()
+		<-done
+		rep, err := svc.Drain()
+		if err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if rep != nil {
+			if rep.Checkpointed {
+				fmt.Printf("final checkpoint published to %s\n", *ckptDir)
+			}
+			if len(rep.Withdrawn) > 0 {
+				fmt.Printf("withdrew %d mitigation rules\n", len(rep.Withdrawn))
+			}
+			s := rep.Service
+			fmt.Printf("service: %d ingested, %d sampled out, %d archive-shed, %d refused, %d checkpoints (%d failed), %d replayed, %d reloads, %d SLO breaches\n",
+				s.IngestedRecords, s.SampledOutRecords, s.ArchiveShedRecords, s.RefusedRecords,
+				s.Checkpoints, s.CheckpointFailures, s.ReplayedRecords, s.Reloads, s.SLOBreaches)
+		}
+		fmt.Printf("drained: %d records collected, %d alerts raised\n",
+			records.Load(), alerts.Load())
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+		}
+	}
 
 	if *demo {
 		exitCode := 0
@@ -161,14 +261,8 @@ func main() {
 		if proxy != nil {
 			proxy.Flush() // release a datagram held for reordering
 		}
-		drain(&records)
-		col.Close()
-		<-done
-		if err := fan.Close(); err != nil {
-			log.Printf("detection pipeline close: %v", err)
-		}
-		fmt.Printf("demo complete: %d records collected, %d alerts raised\n",
-			records.Load(), alerts.Load())
+		waitQuiescent(&records)
+		shutdown("demo complete")
 		if proxy != nil {
 			l := proxy.Ledger()
 			fmt.Printf("chaos ledger: %d received, %d forwarded, %d dropped, %d reordered, %d records dropped\n",
@@ -180,7 +274,7 @@ func main() {
 				exitCode = 1
 			}
 		}
-		report(col, monitor)
+		report(col, svc)
 		closeStore(store, *storeDir)
 		if exitCode != 0 {
 			os.Exit(exitCode)
@@ -188,18 +282,63 @@ func main() {
 		return
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	col.Close()
-	<-done
-	if err := fan.Close(); err != nil {
-		log.Printf("detection pipeline close: %v", err)
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	for {
+		select {
+		case s := <-term:
+			shutdown(s.String())
+			report(col, svc)
+			closeStore(store, *storeDir)
+			return
+		case <-hup:
+			// Threshold reload in-process: the UDP socket, monitor state,
+			// and pipeline position all survive.
+			next, err := loadThresholds(*thresholds)
+			if err != nil {
+				log.Printf("reload: %v (keeping active thresholds)", err)
+				continue
+			}
+			if err := svc.Reload(next); err != nil {
+				log.Printf("reload: %v", err)
+				continue
+			}
+			c := svc.Config()
+			fmt.Printf("reloaded thresholds: size %.0fB, rate %.0f bps, sources %d\n",
+				c.SizeThreshold, c.MinRateBps, c.MinSources)
+		}
 	}
-	fmt.Printf("shutting down: %d records collected, %d alerts raised\n",
-		records.Load(), alerts.Load())
-	report(col, monitor)
-	closeStore(store, *storeDir)
+}
+
+// thresholdsFile is the -thresholds JSON schema; zero fields fall back
+// to the paper's conservative defaults.
+type thresholdsFile struct {
+	SizeThreshold float64 `json:"size_threshold"`
+	MinRateBps    float64 `json:"min_rate_bps"`
+	MinSources    int     `json:"min_sources"`
+}
+
+// loadThresholds reads the classifier config from path (the startup and
+// SIGHUP path); an empty path selects the paper's defaults.
+func loadThresholds(path string) (classify.Config, error) {
+	if path == "" {
+		return classify.Config{}, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return classify.Config{}, fmt.Errorf("thresholds: %w", err)
+	}
+	var tf thresholdsFile
+	if err := json.Unmarshal(b, &tf); err != nil {
+		return classify.Config{}, fmt.Errorf("thresholds %s: %w", path, err)
+	}
+	return classify.Config{
+		SizeThreshold: tf.SizeThreshold,
+		MinRateBps:    tf.MinRateBps,
+		MinSources:    tf.MinSources,
+	}, nil
 }
 
 // closeStore seals the archive (if one was requested) and prints its
@@ -217,11 +356,11 @@ func closeStore(store *flowstore.Store, dir string) {
 		dir, s.RecordsAppended, s.RecordsDurable, s.RecordsDropped, s.SegmentsSealed, s.BytesWritten)
 }
 
-// drain waits until the record counter has been stable for several
-// polls (all in-flight datagrams decoded) or a timeout passes — a
-// deterministic replacement for a fixed sleep, so -demo never
+// waitQuiescent waits until the record counter has been stable for
+// several polls (all in-flight datagrams decoded) or a timeout passes —
+// a deterministic replacement for a fixed sleep, so -demo never
 // under-reports on slow machines.
-func drain(records *atomic.Int64) {
+func waitQuiescent(records *atomic.Int64) {
 	const (
 		poll        = 20 * time.Millisecond
 		stableNeed  = 5 // consecutive unchanged polls
@@ -244,8 +383,8 @@ func drain(records *atomic.Int64) {
 	}
 }
 
-// report prints the collector and monitor accounting snapshots.
-func report(col *ipfix.Collector, monitor *classify.ShardedMonitor) {
+// report prints the collector and daemon accounting snapshots.
+func report(col *ipfix.Collector, svc *service.Service) {
 	s := col.Stats()
 	fmt.Printf("collector: %s\n", col.Health())
 	fmt.Printf("  %d messages, %d bytes, %d records, %d shed, %d decode errors, %d without template\n",
@@ -255,7 +394,11 @@ func report(col *ipfix.Collector, monitor *classify.ShardedMonitor) {
 			id, ds.Messages, ds.Records, ds.LostRecords(), ds.SeqGapRecords,
 			ds.SeqLateRecords, ds.DuplicateMessages, ds.SeqResets, ds.UnknownTemplateSets)
 	}
-	fmt.Printf("monitor: %s\n", monitor.Health())
+	h := svc.Health()
+	fmt.Printf("monitor: %s\n", h.Monitor)
+	if h.Shed != service.ShedNone || h.ActiveRules > 0 {
+		fmt.Printf("service: shed level %s, %d active mitigations\n", h.Shed, h.ActiveRules)
+	}
 }
 
 // runDemo exports one synthetic day of tier-2 traffic to the collector.

@@ -73,10 +73,11 @@ func (s *ShardedMonitor) Stages() []pipe.Stage {
 // MarkFilter is the watermark predicate matching the serial monitor's
 // clock: Add only advances `latest` on records passing the optimistic
 // amplified-NTP filter, so the stamped prefix-max must run over
-// exactly those records.
+// exactly those records. The predicate reads the live config so a
+// SetConfig reload (run under the fan-out barrier, which serializes
+// with routing) changes the filter too.
 func (s *ShardedMonitor) MarkFilter() func(*flow.Record) bool {
-	cfg := s.cfg
-	return func(r *flow.Record) bool { return IsAmplifiedNTP(r, cfg) }
+	return func(r *flow.Record) bool { return IsAmplifiedNTP(r, s.cfg) }
 }
 
 // FanOut builds the fan-out stage that drives this monitor: victim

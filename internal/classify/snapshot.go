@@ -1,0 +1,227 @@
+package classify
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"booterscope/internal/flow"
+	"booterscope/internal/pipe"
+)
+
+// MonitorSnapshot is the serializable state of a streaming monitor —
+// everything a restarted detector needs to resume mid-attack: the
+// victim table (per-victim minute bins with their bounded source
+// sets), the re-alert suppression markers, the eviction clock, and the
+// ingest accounting counters. The snapshot is shard-agnostic: a
+// ShardedMonitor folds its shards into one flat snapshot, and Restore
+// re-routes the bins with the same destination hash the live fan-out
+// uses, so the shard count may change across a restart.
+//
+// All slices are sorted (bins by victim then minute, sources and
+// alert markers bytewise) so two equal states encode byte-identically.
+type MonitorSnapshot struct {
+	// LatestUnix is the eviction clock (unix seconds of the truncated
+	// minute); LatestValid distinguishes a genuine epoch clock from a
+	// monitor that has seen no matched record yet.
+	LatestUnix  int64
+	LatestValid bool
+	Bins        []BinSnapshot
+	Alerted     []AlertMarker
+	Stats       MonitorStats
+}
+
+// BinSnapshot is one (victim, minute) aggregation bin.
+type BinSnapshot struct {
+	Victim         [16]byte
+	MinuteUnix     int64
+	Bytes          uint64
+	Sources        [][16]byte
+	SourceOverflow uint64
+}
+
+// AlertMarker is one re-alert suppression entry: the last minute an
+// alert was raised for a victim.
+type AlertMarker struct {
+	Victim     [16]byte
+	MinuteUnix int64
+}
+
+// Snapshot captures the monitor's state. The caller must ensure the
+// monitor is quiescent (no concurrent Add).
+func (m *Monitor) Snapshot() *MonitorSnapshot {
+	s := &MonitorSnapshot{Stats: m.Stats()}
+	if !m.latest.IsZero() {
+		s.LatestUnix, s.LatestValid = m.latest.Unix(), true
+	}
+	s.Bins = make([]BinSnapshot, 0, len(m.minutes))
+	for key, agg := range m.minutes {
+		s.Bins = append(s.Bins, BinSnapshot{
+			Victim:         key.dst,
+			MinuteUnix:     key.minute,
+			Bytes:          agg.bytes,
+			Sources:        agg.sources.Snapshot(),
+			SourceOverflow: agg.sources.Overflow(),
+		})
+	}
+	sortBins(s.Bins)
+	s.Alerted = make([]AlertMarker, 0, len(m.alerted))
+	for victim, last := range m.alerted {
+		s.Alerted = append(s.Alerted, AlertMarker{Victim: victim.As16(), MinuteUnix: last.Unix()})
+	}
+	sortMarkers(s.Alerted)
+	return s
+}
+
+func sortBins(bins []BinSnapshot) {
+	sort.Slice(bins, func(i, j int) bool {
+		if c := bytes.Compare(bins[i].Victim[:], bins[j].Victim[:]); c != 0 {
+			return c < 0
+		}
+		return bins[i].MinuteUnix < bins[j].MinuteUnix
+	})
+}
+
+func sortMarkers(ms []AlertMarker) {
+	sort.Slice(ms, func(i, j int) bool {
+		return bytes.Compare(ms[i].Victim[:], ms[j].Victim[:]) < 0
+	})
+}
+
+// restoreInto loads one bin and marker subset into the monitor. Counter
+// state is restored separately (once, not per shard).
+func (m *Monitor) restoreBin(b *BinSnapshot) {
+	key := minuteKey{dst: b.Victim, minute: b.MinuteUnix}
+	m.minutes[key] = &monAgg{
+		bytes:   b.Bytes,
+		sources: flow.RestoreSourceSet(m.maxSourcesPerBin(), b.Sources, b.SourceOverflow),
+	}
+	m.m.occupancy.Add(1)
+}
+
+func (m *Monitor) restoreMarker(a *AlertMarker) {
+	m.alerted[netip.AddrFrom16(a.Victim).Unmap()] = time.Unix(a.MinuteUnix, 0).UTC()
+}
+
+func (m *Monitor) restoreClock(s *MonitorSnapshot) {
+	if s.LatestValid {
+		m.latest = time.Unix(s.LatestUnix, 0).UTC().Truncate(time.Minute)
+	}
+}
+
+// Restore loads a snapshot into an empty monitor, replacing any state.
+// Counters resume from the snapshot's values, so accounting survives a
+// restart instead of resetting to zero.
+func (m *Monitor) Restore(s *MonitorSnapshot) {
+	m.minutes = make(map[minuteKey]*monAgg, len(s.Bins))
+	m.alerted = make(map[netip.Addr]time.Time, len(s.Alerted))
+	m.m.occupancy.Add(-m.m.occupancy.Value())
+	for i := range s.Bins {
+		m.restoreBin(&s.Bins[i])
+	}
+	for i := range s.Alerted {
+		m.restoreMarker(&s.Alerted[i])
+	}
+	m.restoreClock(s)
+	restoreStats(m.m, s.Stats)
+}
+
+// restoreStats advances fresh counters to the snapshot's values. The
+// metrics struct must be newly created (counters at zero).
+func restoreStats(m *monitorMetrics, s MonitorStats) {
+	m.records.Add(s.Records)
+	m.matched.Add(s.Matched)
+	m.alerts.Add(s.Alerts)
+	m.rejected.Add(s.RejectedRecords)
+	m.evicted.Add(s.EvictedBins)
+	m.overflows.Add(s.SourceOverflows)
+}
+
+// SetConfig replaces the monitor's classification thresholds — the
+// SIGHUP reload path. The caller must ensure the monitor is quiescent.
+func (m *Monitor) SetConfig(cfg Config) { m.cfg = cfg.withDefaults() }
+
+// Snapshot folds every shard's state into one flat snapshot. Call only
+// while the driving fan-out is quiescent (inside FanOut.Barrier, or
+// after Close): shards own disjoint victim sets, so the fold is a
+// disjoint union. Before snapshotting, advance every shard to the
+// global watermark first (AdvanceAll) so the per-shard eviction clocks
+// agree — the service daemon's checkpoint path does both.
+func (s *ShardedMonitor) Snapshot() *MonitorSnapshot {
+	snap := &MonitorSnapshot{Stats: s.Stats()}
+	for _, sh := range s.shards {
+		m := sh.mon
+		if !m.latest.IsZero() {
+			if u := m.latest.Unix(); !snap.LatestValid || u > snap.LatestUnix {
+				snap.LatestUnix, snap.LatestValid = u, true
+			}
+		}
+		for key, agg := range m.minutes {
+			snap.Bins = append(snap.Bins, BinSnapshot{
+				Victim:         key.dst,
+				MinuteUnix:     key.minute,
+				Bytes:          agg.bytes,
+				Sources:        agg.sources.Snapshot(),
+				SourceOverflow: agg.sources.Overflow(),
+			})
+		}
+		for victim, last := range m.alerted {
+			snap.Alerted = append(snap.Alerted, AlertMarker{Victim: victim.As16(), MinuteUnix: last.Unix()})
+		}
+	}
+	sortBins(snap.Bins)
+	sortMarkers(snap.Alerted)
+	return snap
+}
+
+// AdvanceAll replays the global eviction clock on every shard — the
+// same normalization FanOut.Close applies at end of stream. Running it
+// before Snapshot makes the per-shard clocks (and therefore eviction
+// and marker pruning) independent of which shard happened to see the
+// last matched record, so a snapshot restored across a different shard
+// count behaves identically. unixSec is the fan-out's Watermark();
+// math.MinInt64 (no matched record yet) is a no-op.
+func (s *ShardedMonitor) AdvanceAll(unixSec int64) {
+	if unixSec == math.MinInt64 {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.mon.AdvanceTo(unixSec)
+	}
+}
+
+// Restore loads a flat snapshot, distributing bins and markers across
+// shards by the same destination hash the fan-out routes records with.
+// Shard monitors must be empty (freshly constructed); the shared
+// counters resume from the snapshot's values.
+func (s *ShardedMonitor) Restore(snap *MonitorSnapshot) {
+	n := uint64(len(s.shards))
+	for i := range snap.Bins {
+		b := &snap.Bins[i]
+		s.shards[pipe.KeyDstAddr(b.Victim)%n].mon.restoreBin(b)
+	}
+	for i := range snap.Alerted {
+		a := &snap.Alerted[i]
+		s.shards[pipe.KeyDstAddr(a.Victim)%n].mon.restoreMarker(a)
+	}
+	for _, sh := range s.shards {
+		sh.mon.restoreClock(snap)
+	}
+	restoreStats(s.m, snap.Stats)
+}
+
+// SetConfig replaces the classification thresholds on every shard and
+// on the fan-out's watermark filter (MarkFilter reads the live config).
+// Call only while the pipeline is quiescent (inside FanOut.Barrier).
+func (s *ShardedMonitor) SetConfig(cfg Config) {
+	s.cfg = cfg.withDefaults()
+	for _, sh := range s.shards {
+		sh.mon.SetConfig(cfg)
+	}
+}
+
+// Config returns the current classification thresholds (defaults
+// filled).
+func (s *ShardedMonitor) Config() Config { return s.cfg }

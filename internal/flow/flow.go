@@ -6,8 +6,10 @@
 package flow
 
 import (
+	"bytes"
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"booterscope/internal/packet"
@@ -223,6 +225,31 @@ func (s *SourceSet) Len() int { return len(s.set) }
 
 // Overflow reports how many Add calls were rejected at capacity.
 func (s *SourceSet) Overflow() uint64 { return s.overflow }
+
+// Snapshot returns the tracked addresses as sorted 16-byte forms — the
+// deterministic serialization checkpointing needs. Addresses are
+// normalized through As16, matching the flowstore codec convention.
+func (s *SourceSet) Snapshot() [][16]byte {
+	out := make([][16]byte, 0, len(s.set))
+	for a := range s.set {
+		out = append(out, a.As16())
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
+}
+
+// RestoreSourceSet rebuilds a set from a Snapshot without touching the
+// overflow telemetry counter (the rejections were already counted by
+// the process that produced the snapshot). Addresses are restored via
+// Unmap, the same normalization the flowstore replay path applies.
+func RestoreSourceSet(cap int, addrs [][16]byte, overflow uint64) *SourceSet {
+	s := NewSourceSet(cap)
+	for _, a := range addrs {
+		s.set[netip.AddrFrom16(a).Unmap()] = struct{}{}
+	}
+	s.overflow = overflow
+	return s
+}
 
 // MinuteBin aggregates flow records about a single destination within one
 // minute: the core unit of the paper's victim analysis (max Gbps per

@@ -6,6 +6,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"booterscope/internal/flow"
@@ -238,6 +239,14 @@ type Collector struct {
 	// the collector came to shedding since start.
 	queueHigh *telemetry.Gauge
 
+	// handler is the decoded-batch callback as an atomically swappable
+	// slot: SetHandler replaces it while Run keeps reading the same
+	// socket, so a config reload never drops the UDP listener (and the
+	// datagrams the kernel would discard while it was down).
+	handler atomic.Pointer[func([]flow.Record)]
+	// queue is the live ingest queue, retained for depth probes.
+	queue chan []byte
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -304,17 +313,42 @@ func (c *Collector) Health() Health {
 	return h
 }
 
+// SetHandler replaces the decoded-batch callback without touching the
+// socket: batches decoded after the swap go to the new handler. This
+// is the reload path — a daemon re-wiring its pipeline on SIGHUP keeps
+// its UDP listener (and loses no datagrams to a close/reopen window).
+func (c *Collector) SetHandler(handle func([]flow.Record)) {
+	c.handler.Store(&handle)
+}
+
+// QueueDepth probes the ingest queue: its current depth and capacity.
+// (0, 0) before Run. Overload evaluation uses the ratio as its
+// queue-pressure signal.
+func (c *Collector) QueueDepth() (depth, capacity int) {
+	c.mu.Lock()
+	q := c.queue
+	c.mu.Unlock()
+	if q == nil {
+		return 0, 0
+	}
+	return len(q), cap(q)
+}
+
 // Run reads messages until Close is called, invoking handle for each
 // decoded batch (from a single worker goroutine, so handle needs no
-// locking of its own). Undecodable messages, unknown-template drops,
-// shed datagrams, and sequence gaps are all accounted in Stats; the
-// queue is drained before Run returns.
+// locking of its own; swap it live with SetHandler). Undecodable
+// messages, unknown-template drops, shed datagrams, and sequence gaps
+// are all accounted in Stats; the queue is drained before Run returns.
 func (c *Collector) Run(handle func([]flow.Record)) error {
+	c.SetHandler(handle)
 	qsize := c.QueueSize
 	if qsize <= 0 {
 		qsize = DefaultQueueSize
 	}
 	queue := make(chan []byte, qsize)
+	c.mu.Lock()
+	c.queue = queue
+	c.mu.Unlock()
 	workerDone := make(chan struct{})
 	go func() {
 		defer close(workerDone)
@@ -330,7 +364,7 @@ func (c *Collector) Run(handle func([]flow.Record)) error {
 			}
 			if len(recs) > 0 {
 				c.records.Add(uint64(len(recs)))
-				handle(recs)
+				(*c.handler.Load())(recs)
 			}
 		}
 	}()

@@ -58,6 +58,14 @@ type FanOut struct {
 	seq       uint64
 	routed    bool
 
+	// barrierToken is a sentinel batch (never pooled) that parks a
+	// worker at the barrier rendezvous; the release channel and the two
+	// wait groups coordinate one Barrier call at a time.
+	barrierToken   *Batch
+	barrierArrived sync.WaitGroup
+	barrierResumed sync.WaitGroup
+	barrierRelease chan struct{}
+
 	failed   atomic.Bool
 	errMu    sync.Mutex
 	firstErr error
@@ -72,11 +80,12 @@ func NewFanOut(key func(*flow.Record) uint64, shards ...Stage) *FanOut {
 		panic("pipe: NewFanOut needs at least one shard")
 	}
 	f := &FanOut{
-		key:       key,
-		shards:    shards,
-		pending:   make([]*Batch, len(shards)),
-		inline:    len(shards) == 1 || runtime.GOMAXPROCS(0) == 1,
-		watermark: math.MinInt64,
+		key:          key,
+		shards:       shards,
+		pending:      make([]*Batch, len(shards)),
+		inline:       len(shards) == 1 || runtime.GOMAXPROCS(0) == 1,
+		watermark:    math.MinInt64,
+		barrierToken: &Batch{},
 	}
 	for i := range f.pending {
 		f.pending[i] = NewBatch()
@@ -95,6 +104,15 @@ func NewFanOut(key func(*flow.Record) uint64, shards ...Stage) *FanOut {
 func (f *FanOut) worker(s int) {
 	defer f.wg.Done()
 	for b := range f.chans[s] {
+		if b == f.barrierToken {
+			// Rendezvous: everything queued before the token has been
+			// processed. Park until Barrier releases the world.
+			rel := f.barrierRelease
+			f.barrierArrived.Done()
+			<-rel
+			f.barrierResumed.Done()
+			continue
+		}
 		if f.failed.Load() {
 			// A peer already failed: drain without processing so the
 			// router never blocks on this queue while unwinding.
@@ -238,6 +256,63 @@ func (f *FanOut) Close() error {
 // routed so far over mark-filtered records; math.MinInt64 before the
 // first match or when no mark filter is set.
 func (f *FanOut) Watermark() int64 { return f.watermark }
+
+// Seq reports the global sequence number the next routed record will
+// be stamped with — equivalently, how many records have been routed
+// with stamping enabled. Together with Watermark it is the pipeline
+// position a checkpoint records.
+func (f *FanOut) Seq() uint64 { return f.seq }
+
+// Resume pre-loads the watermark and sequence counters from a
+// checkpoint, so a restarted pipeline stamps records exactly where the
+// crashed one left off. Must be called before the first Process.
+func (f *FanOut) Resume(watermark int64, seq uint64) {
+	if f.routed {
+		panic("pipe: Resume after records were routed")
+	}
+	if watermark > f.watermark {
+		f.watermark = watermark
+	}
+	f.seq = seq
+}
+
+// Barrier quiesces the fan-out and runs fn with the world stopped:
+// pending slabs are flushed, every worker drains its queue up to a
+// rendezvous token and parks, fn runs, and the workers resume. While
+// fn runs, every record routed so far has been fully processed by its
+// shard and no shard is executing — fn may read and mutate shard state
+// without synchronization. This is the drain point checkpointing and
+// threshold reloads run at.
+//
+// Barrier must not race Process or Close: the caller serializes them
+// (the service daemon holds its ingest lock across both). Returns the
+// pipeline's first error if it has already failed, without running fn.
+func (f *FanOut) Barrier(fn func() error) error {
+	if f.failed.Load() {
+		return f.err()
+	}
+	for s := range f.pending {
+		if err := f.flush(s); err != nil {
+			return err
+		}
+	}
+	if f.inline {
+		return fn()
+	}
+	f.barrierRelease = make(chan struct{})
+	f.barrierArrived.Add(len(f.chans))
+	f.barrierResumed.Add(len(f.chans))
+	for _, ch := range f.chans {
+		ch <- f.barrierToken
+	}
+	f.barrierArrived.Wait()
+	err := fn()
+	close(f.barrierRelease)
+	// Wait for every worker to leave the rendezvous before returning,
+	// so a subsequent Barrier can reuse the coordination fields.
+	f.barrierResumed.Wait()
+	return err
+}
 
 // SetMarkFilter enables watermark/sequence stamping, restricting
 // watermark advancement to records satisfying pred. A watermark-driven

@@ -223,7 +223,14 @@ const fnvOffset64 = 14695981039346656037
 // per-victim aggregations (classify, attack counting) shard-local and
 // their merge exact.
 func KeyDst(r *flow.Record) uint64 {
-	return fnv1aAddr(fnvOffset64, r.Dst.As16())
+	return KeyDstAddr(r.Dst.As16())
+}
+
+// KeyDstAddr is KeyDst over a raw 16-byte address — checkpoint restore
+// uses it to re-shard saved per-victim state with exactly the routing
+// the live fan-out applies.
+func KeyDstAddr(a [16]byte) uint64 {
+	return fnv1aAddr(fnvOffset64, a)
 }
 
 // KeyFlow routes records by the full 5-tuple — for stages keyed on

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"booterscope/internal/chaos"
+	"booterscope/internal/classify"
+)
+
+// Checkpoint file layout (the flowstore CRC-framing pattern applied to
+// monitor state):
+//
+//	magic (8 bytes "BSCKPT01")
+//	frame*:
+//	  u32 frameLen   — length of payload
+//	  u32 crc        — IEEE CRC32 over payload
+//	  payload        — first byte is the frame type:
+//	    1 header  — version, pipeline position (watermark, seq), store
+//	                durability watermark, eviction clock, classifier
+//	                config, monitor counters
+//	    2 bins    — a chunk of (victim, minute) bins with source sets
+//	    3 alerted — re-alert suppression markers
+//	    255 trailer — end marker; a file without it is torn
+//
+// Writes go to checkpoint.tmp and are published by atomic rename, so
+// the visible checkpoint.bsck is always a complete snapshot: a crash
+// mid-write (every write runs through a chaos.Failpoint hook in tests)
+// leaves the previous checkpoint untouched. Load still verifies every
+// CRC and requires the trailer, so a checkpoint torn by the filesystem
+// itself is detected and reported rather than half-loaded — the caller
+// falls back to a cold start plus archive replay, the same
+// torn-tail-truncation stance the flowstore takes.
+
+var ckptMagic = [8]byte{'B', 'S', 'C', 'K', 'P', 'T', '0', '1'}
+
+const (
+	ckptFileName = "checkpoint.bsck"
+	ckptTmpName  = "checkpoint.tmp"
+
+	frameHeader  = 1
+	frameBins    = 2
+	frameAlerted = 3
+	frameTrailer = 255
+
+	ckptVersion = 1
+
+	// binsPerFrame chunks the victim table so large checkpoints are
+	// written (and fault-injected) in multiple operations.
+	binsPerFrame = 256
+)
+
+// ErrCheckpointCorrupt marks a checkpoint file that fails CRC or
+// framing validation — the daemon treats it as absent and replays from
+// the flow archive instead.
+var ErrCheckpointCorrupt = errors.New("service: corrupt checkpoint")
+
+// Checkpoint is the complete persisted state of the detection daemon:
+// the monitor snapshot plus the pipeline position (the fan-out's
+// watermark and global sequence) and the archive durability watermark
+// the restart replays from.
+type Checkpoint struct {
+	// Watermark is the fan-out's eviction-clock watermark
+	// (math.MinInt64 when no matched record has been routed).
+	Watermark int64
+	// Seq is the fan-out's global record sequence — how many records
+	// the pipeline had routed when the snapshot was taken.
+	Seq uint64
+	// StoreDurable is the flow archive's durable record count at the
+	// snapshot (the store is sealed at every checkpoint, so this is
+	// the exact replay skip point).
+	StoreDurable uint64
+	// Config is the classifier thresholds in force — a SIGHUP reload
+	// survives a restart.
+	Config classify.Config
+	// Monitor is the folded monitor state.
+	Monitor *classify.MonitorSnapshot
+}
+
+// CheckpointPath returns the checkpoint file location under dir.
+func CheckpointPath(dir string) string { return filepath.Join(dir, ckptFileName) }
+
+func appendFrame(dst []byte, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+func encodeHeader(cp *Checkpoint) []byte {
+	s := cp.Monitor
+	b := []byte{frameHeader}
+	b = binary.BigEndian.AppendUint16(b, ckptVersion)
+	b = binary.BigEndian.AppendUint64(b, uint64(cp.Watermark))
+	b = binary.BigEndian.AppendUint64(b, cp.Seq)
+	b = binary.BigEndian.AppendUint64(b, cp.StoreDurable)
+	b = binary.BigEndian.AppendUint64(b, uint64(s.LatestUnix))
+	if s.LatestValid {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(cp.Config.SizeThreshold))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(cp.Config.MinRateBps))
+	b = binary.BigEndian.AppendUint64(b, uint64(int64(cp.Config.MinSources)))
+	for _, v := range [...]uint64{
+		s.Stats.Records, s.Stats.Matched, s.Stats.Alerts,
+		s.Stats.RejectedRecords, s.Stats.EvictedBins, s.Stats.SourceOverflows,
+	} {
+		b = binary.BigEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+const headerLen = 1 + 2 + 8*4 + 1 + 8*3 + 8*6
+
+func decodeHeader(b []byte, cp *Checkpoint) error {
+	if len(b) != headerLen {
+		return fmt.Errorf("%w: header frame is %d bytes, want %d", ErrCheckpointCorrupt, len(b), headerLen)
+	}
+	if v := binary.BigEndian.Uint16(b[1:]); v != ckptVersion {
+		return fmt.Errorf("%w: unsupported checkpoint version %d", ErrCheckpointCorrupt, v)
+	}
+	s := cp.Monitor
+	cp.Watermark = int64(binary.BigEndian.Uint64(b[3:]))
+	cp.Seq = binary.BigEndian.Uint64(b[11:])
+	cp.StoreDurable = binary.BigEndian.Uint64(b[19:])
+	s.LatestUnix = int64(binary.BigEndian.Uint64(b[27:]))
+	s.LatestValid = b[35] == 1
+	cp.Config.SizeThreshold = math.Float64frombits(binary.BigEndian.Uint64(b[36:]))
+	cp.Config.MinRateBps = math.Float64frombits(binary.BigEndian.Uint64(b[44:]))
+	cp.Config.MinSources = int(int64(binary.BigEndian.Uint64(b[52:])))
+	s.Stats.Records = binary.BigEndian.Uint64(b[60:])
+	s.Stats.Matched = binary.BigEndian.Uint64(b[68:])
+	s.Stats.Alerts = binary.BigEndian.Uint64(b[76:])
+	s.Stats.RejectedRecords = binary.BigEndian.Uint64(b[84:])
+	s.Stats.EvictedBins = binary.BigEndian.Uint64(b[92:])
+	s.Stats.SourceOverflows = binary.BigEndian.Uint64(b[100:])
+	return nil
+}
+
+func encodeBins(bins []classify.BinSnapshot) []byte {
+	b := []byte{frameBins}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(bins)))
+	for i := range bins {
+		bin := &bins[i]
+		b = append(b, bin.Victim[:]...)
+		b = binary.BigEndian.AppendUint64(b, uint64(bin.MinuteUnix))
+		b = binary.BigEndian.AppendUint64(b, bin.Bytes)
+		b = binary.BigEndian.AppendUint64(b, bin.SourceOverflow)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(bin.Sources)))
+		for _, src := range bin.Sources {
+			b = append(b, src[:]...)
+		}
+	}
+	return b
+}
+
+func decodeBins(b []byte, snap *classify.MonitorSnapshot) error {
+	if len(b) < 5 {
+		return fmt.Errorf("%w: short bins frame", ErrCheckpointCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(b[1:]))
+	off := 5
+	for i := 0; i < n; i++ {
+		if len(b)-off < 16+8+8+8+4 {
+			return fmt.Errorf("%w: truncated bin %d", ErrCheckpointCorrupt, i)
+		}
+		var bin classify.BinSnapshot
+		copy(bin.Victim[:], b[off:])
+		bin.MinuteUnix = int64(binary.BigEndian.Uint64(b[off+16:]))
+		bin.Bytes = binary.BigEndian.Uint64(b[off+24:])
+		bin.SourceOverflow = binary.BigEndian.Uint64(b[off+32:])
+		nsrc := int(binary.BigEndian.Uint32(b[off+40:]))
+		off += 44
+		if nsrc < 0 || len(b)-off < nsrc*16 {
+			return fmt.Errorf("%w: truncated source set of bin %d", ErrCheckpointCorrupt, i)
+		}
+		bin.Sources = make([][16]byte, nsrc)
+		for j := 0; j < nsrc; j++ {
+			copy(bin.Sources[j][:], b[off:])
+			off += 16
+		}
+		snap.Bins = append(snap.Bins, bin)
+	}
+	if off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes in bins frame", ErrCheckpointCorrupt, len(b)-off)
+	}
+	return nil
+}
+
+func encodeAlerted(ms []classify.AlertMarker) []byte {
+	b := []byte{frameAlerted}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ms)))
+	for i := range ms {
+		b = append(b, ms[i].Victim[:]...)
+		b = binary.BigEndian.AppendUint64(b, uint64(ms[i].MinuteUnix))
+	}
+	return b
+}
+
+func decodeAlerted(b []byte, snap *classify.MonitorSnapshot) error {
+	if len(b) < 5 {
+		return fmt.Errorf("%w: short alerted frame", ErrCheckpointCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(b[1:]))
+	if len(b) != 5+n*24 {
+		return fmt.Errorf("%w: alerted frame is %d bytes, want %d", ErrCheckpointCorrupt, len(b), 5+n*24)
+	}
+	off := 5
+	for i := 0; i < n; i++ {
+		var m classify.AlertMarker
+		copy(m.Victim[:], b[off:])
+		m.MinuteUnix = int64(binary.BigEndian.Uint64(b[off+16:]))
+		snap.Alerted = append(snap.Alerted, m)
+		off += 24
+	}
+	return nil
+}
+
+// EncodeCheckpoint serializes cp into the framed on-disk form. The
+// encoding is deterministic: equal states produce identical bytes (the
+// restore-equivalence test pins this).
+func EncodeCheckpoint(cp *Checkpoint) []byte {
+	out := append([]byte(nil), ckptMagic[:]...)
+	out = appendFrame(out, encodeHeader(cp))
+	bins := cp.Monitor.Bins
+	for len(bins) > 0 {
+		n := len(bins)
+		if n > binsPerFrame {
+			n = binsPerFrame
+		}
+		out = appendFrame(out, encodeBins(bins[:n]))
+		bins = bins[n:]
+	}
+	out = appendFrame(out, encodeAlerted(cp.Monitor.Alerted))
+	return appendFrame(out, []byte{frameTrailer})
+}
+
+// DecodeCheckpoint parses bytes produced by EncodeCheckpoint, verifying
+// magic, every frame CRC, and the trailer. Any damage — a torn tail, a
+// flipped bit, a missing trailer — yields ErrCheckpointCorrupt.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < len(ckptMagic) || [8]byte(b[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpointCorrupt)
+	}
+	cp := &Checkpoint{Monitor: &classify.MonitorSnapshot{}}
+	off := len(ckptMagic)
+	sawHeader, sawTrailer := false, false
+	for off < len(b) {
+		if sawTrailer {
+			return nil, fmt.Errorf("%w: data after trailer", ErrCheckpointCorrupt)
+		}
+		if len(b)-off < 8 {
+			return nil, fmt.Errorf("%w: torn frame header at offset %d", ErrCheckpointCorrupt, off)
+		}
+		frameLen := int(binary.BigEndian.Uint32(b[off:]))
+		crc := binary.BigEndian.Uint32(b[off+4:])
+		if frameLen < 1 || len(b)-off-8 < frameLen {
+			return nil, fmt.Errorf("%w: torn frame at offset %d", ErrCheckpointCorrupt, off)
+		}
+		payload := b[off+8 : off+8+frameLen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCheckpointCorrupt, off)
+		}
+		switch payload[0] {
+		case frameHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("%w: duplicate header frame", ErrCheckpointCorrupt)
+			}
+			sawHeader = true
+			if err := decodeHeader(payload, cp); err != nil {
+				return nil, err
+			}
+		case frameBins:
+			if err := decodeBins(payload, cp.Monitor); err != nil {
+				return nil, err
+			}
+		case frameAlerted:
+			if err := decodeAlerted(payload, cp.Monitor); err != nil {
+				return nil, err
+			}
+		case frameTrailer:
+			sawTrailer = true
+		default:
+			return nil, fmt.Errorf("%w: unknown frame type %d", ErrCheckpointCorrupt, payload[0])
+		}
+		off += 8 + frameLen
+	}
+	if !sawHeader || !sawTrailer {
+		return nil, fmt.Errorf("%w: missing %s frame", ErrCheckpointCorrupt, map[bool]string{true: "trailer", false: "header"}[sawHeader])
+	}
+	return cp, nil
+}
+
+// SaveCheckpoint atomically publishes cp under dir: the framed bytes go
+// to a temp file (every write, the fsync, and the rename run through
+// the fault hook, so the chaos suite can kill the writer at each
+// offset), and only a complete, synced temp file is renamed over the
+// previous checkpoint. On any failure the previous checkpoint is left
+// intact and the temp file removed. Returns the checkpoint size.
+func SaveCheckpoint(dir string, cp *Checkpoint, fault *chaos.Failpoint) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("service: checkpoint dir: %w", err)
+	}
+	tmp := filepath.Join(dir, ckptTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("service: checkpoint temp file: %w", err)
+	}
+	enc := EncodeCheckpoint(cp)
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	// Write frame by frame so each frame is a distinct fault-injection
+	// point — the granularity a real crash tears files at.
+	for off := 0; off < len(enc); {
+		end := len(enc)
+		if off+8 <= len(enc) && off >= len(ckptMagic) {
+			end = off + 8 + int(binary.BigEndian.Uint32(enc[off:]))
+		} else if off == 0 {
+			end = len(ckptMagic)
+		}
+		if err := fault.Check("checkpoint write"); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(enc[off:end]); err != nil {
+			return fail(fmt.Errorf("service: writing checkpoint: %w", err))
+		}
+		off = end
+	}
+	if err := fault.Check("checkpoint fsync"); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("service: syncing checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("service: closing checkpoint: %w", err))
+	}
+	if err := fault.Check("checkpoint rename"); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, CheckpointPath(dir)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("service: publishing checkpoint: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return int64(len(enc)), nil
+}
+
+// LoadCheckpoint reads the checkpoint under dir. A missing file is not
+// an error — (nil, nil) means cold start. A present but damaged file
+// returns ErrCheckpointCorrupt; the caller falls back to a cold start
+// with archive replay from record zero.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	b, err := os.ReadFile(CheckpointPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(b)
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"bytes"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"booterscope/internal/bgp"
+	"booterscope/internal/classify"
+)
+
+// MitigationOptions closes the detect→mitigate loop: on sustained
+// detection the daemon emits a bgp FlowSpec discard rule scoped to the
+// attack traffic (UDP from the NTP port, amplified packet sizes,
+// toward the victim /32) and withdraws every active rule on drain —
+// the paper's handover/mitigation analysis as a running control loop.
+type MitigationOptions struct {
+	// Enabled turns the loop on; off, alerts only log.
+	Enabled bool
+	// SustainAlerts is how many alerts a victim must accumulate before
+	// a rule is announced (0 selects 2: one alert is detection, a
+	// re-alert is sustained attack).
+	SustainAlerts int
+	// MinPacketLen is the rule's packet-length floor (0 selects the
+	// classifier's optimistic size threshold).
+	MinPacketLen int
+	// Announce and Withdraw, when set, receive each rule as it changes
+	// state (the collector binary logs them; a deployment would speak
+	// BGP). Called with the mitigator's lock held — keep them fast.
+	Announce func(bgp.FlowSpecRule)
+	Withdraw func(bgp.FlowSpecRule)
+}
+
+func (o MitigationOptions) withDefaults() MitigationOptions {
+	if o.SustainAlerts <= 0 {
+		o.SustainAlerts = 2
+	}
+	if o.MinPacketLen <= 0 {
+		o.MinPacketLen = int(classify.OptimisticSizeThreshold)
+	}
+	return o
+}
+
+// Mitigator tracks per-victim alert counts and the active FlowSpec
+// rules. Alerts arrive concurrently from shard workers.
+type Mitigator struct {
+	mu     sync.Mutex
+	opts   MitigationOptions
+	counts map[netip.Addr]int
+	rules  map[netip.Addr]bgp.FlowSpecRule
+	m      *metrics
+}
+
+func newMitigator(opts MitigationOptions, m *metrics) *Mitigator {
+	return &Mitigator{
+		opts:   opts.withDefaults(),
+		counts: make(map[netip.Addr]int),
+		rules:  make(map[netip.Addr]bgp.FlowSpecRule),
+		m:      m,
+	}
+}
+
+// OnAlert feeds one detection into the loop, announcing a rule once
+// the victim's alert count reaches SustainAlerts.
+func (mt *Mitigator) OnAlert(a classify.Alert) {
+	if !mt.opts.Enabled {
+		return
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	v := a.Victim.Unmap()
+	mt.counts[v]++
+	if mt.counts[v] < mt.opts.SustainAlerts {
+		return
+	}
+	if _, active := mt.rules[v]; active {
+		return
+	}
+	if !v.Is4() {
+		// FlowSpec NLRI encoding here covers IPv4 only; skipping is
+		// accounted, never silent.
+		mt.m.mitigationSkipped.Inc()
+		return
+	}
+	rule := bgp.FlowSpecRule{
+		Dst:          netip.PrefixFrom(v, 32),
+		Protocol:     17, // UDP
+		SrcPort:      classify.NTPPort,
+		MinPacketLen: mt.opts.MinPacketLen,
+	}
+	if _, err := rule.Encode(); err != nil {
+		mt.m.mitigationSkipped.Inc()
+		return
+	}
+	mt.rules[v] = rule
+	mt.m.mitigationAnnounced.Inc()
+	mt.m.mitigationActive.Add(1)
+	if mt.opts.Announce != nil {
+		mt.opts.Announce(rule)
+	}
+}
+
+// sortedVictims returns the active-rule victims in byte order, so
+// withdrawal and listing never leak map iteration order into output.
+func (mt *Mitigator) sortedVictims() []netip.Addr {
+	out := make([]netip.Addr, 0, len(mt.rules))
+	for v := range mt.rules {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].As16(), out[j].As16()
+		return bytes.Compare(a[:], b[:]) < 0
+	})
+	return out
+}
+
+// ActiveRules lists the announced rules in deterministic victim order.
+func (mt *Mitigator) ActiveRules() []bgp.FlowSpecRule {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	victims := mt.sortedVictims()
+	out := make([]bgp.FlowSpecRule, 0, len(victims))
+	for _, v := range victims {
+		out = append(out, mt.rules[v])
+	}
+	return out
+}
+
+// WithdrawAll retracts every active rule (the drain path) and returns
+// the withdrawn rules in deterministic victim order.
+func (mt *Mitigator) WithdrawAll() []bgp.FlowSpecRule {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	victims := mt.sortedVictims()
+	out := make([]bgp.FlowSpecRule, 0, len(victims))
+	for _, v := range victims {
+		rule := mt.rules[v]
+		delete(mt.rules, v)
+		mt.m.mitigationWithdrawn.Inc()
+		mt.m.mitigationActive.Add(-1)
+		if mt.opts.Withdraw != nil {
+			mt.opts.Withdraw(rule)
+		}
+		out = append(out, rule)
+	}
+	return out
+}

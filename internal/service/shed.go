@@ -1,0 +1,134 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ShedLevel is one rung of the overload-degradation ladder. Each step
+// gives up a declared slice of fidelity to protect detection latency;
+// classification itself is never shed — the ladder tops out at
+// ShedArchive with the classifier still seeing (sampled) traffic.
+type ShedLevel int32
+
+// The ladder, in escalation order.
+const (
+	// ShedNone is full fidelity: every record archived and classified.
+	ShedNone ShedLevel = iota
+	// ShedSample widens sampling: 1-in-SampleN records enter the
+	// pipeline with SamplingRate scaled by N, so rate estimates stay
+	// unbiased while per-record cost drops N-fold. Source counts are
+	// thinned — a declared, accounted degradation.
+	ShedSample
+	// ShedArchive additionally sheds the landscape-only archive stage:
+	// records are classified but no longer persisted. This is the top
+	// rung; classification is never shed.
+	ShedArchive
+)
+
+// String names the level for telemetry labels and logs.
+func (l ShedLevel) String() string {
+	switch l {
+	case ShedNone:
+		return "none"
+	case ShedSample:
+		return "sample"
+	case ShedArchive:
+		return "archive"
+	}
+	return fmt.Sprintf("level%d", int32(l))
+}
+
+// SLOOptions declares the detection-latency objective and the ladder's
+// trigger thresholds.
+type SLOOptions struct {
+	// TargetP99 is the detection-latency SLO: the p99 of the
+	// service_detect span (flow arrival to detection-pipeline
+	// hand-off, including shard-queue backpressure) must stay under
+	// it. 0 selects 250ms.
+	TargetP99 time.Duration
+	// QueueHighFrac escalates when the collector ingest queue is
+	// fuller than this fraction at evaluation time. 0 selects 0.8.
+	QueueHighFrac float64
+	// SampleN is the ShedSample sampling divisor (1-in-N). 0 selects 4.
+	SampleN int
+	// StepUpAfter is how many consecutive breached evaluations trigger
+	// an escalation (0 selects 1 — escalate immediately).
+	StepUpAfter int
+	// StepDownAfter is how many consecutive healthy evaluations walk
+	// the ladder back one rung (0 selects 3 — recover conservatively).
+	StepDownAfter int
+}
+
+func (o SLOOptions) withDefaults() SLOOptions {
+	if o.TargetP99 <= 0 {
+		o.TargetP99 = 250 * time.Millisecond
+	}
+	if o.QueueHighFrac <= 0 {
+		o.QueueHighFrac = 0.8
+	}
+	if o.SampleN <= 1 {
+		o.SampleN = 4
+	}
+	if o.StepUpAfter <= 0 {
+		o.StepUpAfter = 1
+	}
+	if o.StepDownAfter <= 0 {
+		o.StepDownAfter = 3
+	}
+	return o
+}
+
+// shedder walks the degradation ladder from periodic SLO evaluations.
+// observe is called from one goroutine (the service's evaluation
+// loop); current is read from the ingest path, hence the atomic level.
+type shedder struct {
+	opts     SLOOptions
+	level    atomic.Int32
+	breached int
+	healthy  int
+	m        *metrics
+}
+
+func newShedder(opts SLOOptions, m *metrics) *shedder {
+	return &shedder{opts: opts.withDefaults(), m: m}
+}
+
+// current reports the active level (ingest hot path, lock-free).
+func (s *shedder) current() ShedLevel { return ShedLevel(s.level.Load()) }
+
+// observe folds one evaluation sample into the ladder state and
+// returns the (possibly changed) level. A breach of either budget —
+// the p99 latency SLO or the collector queue high-watermark — steps
+// the ladder up after StepUpAfter consecutive breaches; StepDownAfter
+// consecutive healthy evaluations step it back down.
+func (s *shedder) observe(p99 time.Duration, queueFrac float64) ShedLevel {
+	breach := p99 > s.opts.TargetP99 || queueFrac > s.opts.QueueHighFrac
+	lvl := s.current()
+	if breach {
+		s.m.sloBreaches.Inc()
+		s.healthy = 0
+		s.breached++
+		if s.breached >= s.opts.StepUpAfter && lvl < ShedArchive {
+			lvl = s.step(lvl, lvl+1, "up")
+			s.breached = 0
+		}
+		return lvl
+	}
+	s.breached = 0
+	s.healthy++
+	if s.healthy >= s.opts.StepDownAfter && lvl > ShedNone {
+		lvl = s.step(lvl, lvl-1, "down")
+		s.healthy = 0
+	}
+	return lvl
+}
+
+func (s *shedder) step(from, to ShedLevel, dir string) ShedLevel {
+	s.level.Store(int32(to))
+	s.m.shedLevel.Set(float64(to))
+	s.m.shedTransitions.With(to.String(), dir).Inc()
+	_ = from
+	return to
+}

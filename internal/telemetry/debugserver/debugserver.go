@@ -7,12 +7,14 @@
 package debugserver
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"booterscope/internal/telemetry"
@@ -28,13 +30,16 @@ func AddrFlag() *string {
 
 // Server is a running debug HTTP server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	draining *atomic.Bool
 }
 
 // Handler builds the debug mux over reg — exposed separately so tests
-// can drive it without a socket.
-func Handler(reg *telemetry.Registry) http.Handler {
+// can drive it without a socket. draining, when non-nil, flips
+// /healthz to 503 "draining" — load balancers stop sending probes to
+// an instance that is shutting down before its sockets actually close.
+func Handler(reg *telemetry.Registry, draining *atomic.Bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.PrometheusHandler())
 	mux.Handle("/metrics.json", reg.JSONHandler())
@@ -45,6 +50,10 @@ func Handler(reg *telemetry.Registry) http.Handler {
 		_ = enc.Encode(reg.Tracer().Recent())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if draining != nil && draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -61,7 +70,7 @@ func Handler(reg *telemetry.Registry) http.Handler {
 			"/metrics       Prometheus text format\n"+
 			"/metrics.json  snapshot as JSON\n"+
 			"/spans         recent pipeline spans\n"+
-			"/healthz       liveness\n"+
+			"/healthz       liveness (503 while draining)\n"+
 			"/debug/pprof/  Go profiling\n")
 	})
 	return mux
@@ -79,10 +88,12 @@ func Start(addr string, reg *telemetry.Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("debugserver: listening on %s: %w", addr, err)
 	}
+	draining := &atomic.Bool{}
 	s := &Server{
-		ln: ln,
+		ln:       ln,
+		draining: draining,
 		srv: &http.Server{
-			Handler:           Handler(reg),
+			Handler:           Handler(reg, draining),
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
@@ -93,5 +104,14 @@ func Start(addr string, reg *telemetry.Registry) (*Server, error) {
 // Addr reports the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// SetDraining flips /healthz to 503 "draining" (or back). A draining
+// daemon calls this the moment shutdown begins, before the pipeline
+// flushes, so probes fail ahead of the socket closing.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Shutdown stops the server gracefully: no new connections, in-flight
+// requests run to completion or until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close stops the server immediately.
 func (s *Server) Close() error { return s.srv.Close() }

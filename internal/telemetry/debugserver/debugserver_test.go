@@ -1,12 +1,14 @@
 package debugserver
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"booterscope/internal/telemetry"
 )
@@ -32,7 +34,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string) {
 }
 
 func TestHandlerSurfaces(t *testing.T) {
-	h := Handler(newTestRegistry())
+	h := Handler(newTestRegistry(), nil)
 
 	code, body := get(t, h, "/metrics")
 	if code != http.StatusOK || !strings.Contains(body, "ipfix_collector_messages_total 3") {
@@ -98,6 +100,40 @@ func TestStartServesAndCloses(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDrainingFlipsHealthzBeforeShutdown(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", newTestRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	status := func() int {
+		resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status(); code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d, want 200", code)
+	}
+	// The drain sequence: probes fail first, the socket closes after.
+	srv.SetDraining(true)
+	if code := status(); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
 	}
 }
 
