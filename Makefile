@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos race-pipeline bench demo demo-lossy
+.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline bench demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # the flow-archive crash-recovery scenario, the daemon
 # checkpoint-chaos scenario, the sharded-pipeline race scenario, plus
 # the full suite under the race detector.
-check: lint analyze crash-recovery checkpoint-chaos race-pipeline
+check: lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
 
@@ -38,10 +38,19 @@ race-pipeline:
 	$(GO) test -race ./internal/pipe ./internal/classify -run 'TestFanOut|TestRun|TestSharded' -count=1
 
 # bench compares the legacy serial replay against the batch pipeline
-# at parallelism=4 and writes the machine-readable artifact consumed
-# by the PR gate (records/s per path plus the speedup ratio).
+# at parallelism=4 and writes the machine-readable artifacts consumed
+# by the PR gates: BENCH_4.json (records/s per path plus the speedup
+# ratio) and BENCH_7.json (flight-recorder on/off overhead, < 2%).
 bench:
 	BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test ./internal/core -run TestWriteBenchArtifact -count=1 -v
+	BENCH_EVENTLOG_OUT=$(CURDIR)/BENCH_7.json $(GO) test ./internal/core -run TestWriteEventlogBenchArtifact -count=1 -v
+
+# incident-chaos kills the flight recorder's dump writer at every
+# write/fsync/rename offset and reloads: each crash must leave either
+# the previous complete dump or none — never a torn file (-count=1
+# defeats the test cache so the gate always runs the crash matrix).
+incident-chaos:
+	$(GO) test ./internal/telemetry/eventlog -run TestDumpCrashAtEveryWriteOffset -count=1
 
 # checkpoint-chaos kills the detection daemon's snapshot writer at
 # every write offset and restarts it: the previous snapshot must be

@@ -57,6 +57,7 @@ import (
 	"booterscope/internal/service"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
+	"booterscope/internal/telemetry/eventlog"
 	"booterscope/internal/trafficgen"
 )
 
@@ -64,22 +65,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("collector: ")
 	var (
-		listen     = flag.String("listen", "127.0.0.1:4739", "UDP listen address (4739 is the IPFIX port)")
-		demo       = flag.Bool("demo", false, "feed a day of synthetic traffic through the socket and exit")
-		seed       = flag.Uint64("seed", 1, "demo traffic seed")
-		scale      = flag.Float64("scale", 0.3, "demo traffic scale")
-		loss       = flag.Float64("loss", 0, "demo fault injection: datagram drop rate through chaos.Proxy")
-		reorder    = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
-		chaosSeed  = flag.Uint64("chaosseed", 7, "fault injection seed")
-		dashEvery  = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
-		storeDir   = flag.String("store.dir", "", "persist decoded flow records into a flowstore archive at this directory")
-		par        = flag.Int("parallelism", 0, "detection pipeline shard count: 0 = NumCPU, 1 = serial (alerts identical)")
-		ckptDir    = flag.String("checkpoint.dir", "", "checkpoint monitor state into this directory (enables restore-on-start)")
-		ckptEvery  = flag.Duration("checkpoint.every", time.Minute, "checkpoint interval (with -checkpoint.dir)")
-		evalEvery  = flag.Duration("slo.every", 5*time.Second, "overload/SLO evaluation interval")
-		sloP99     = flag.Duration("slo.p99", 0, "detection-latency p99 objective (0: 250ms default)")
-		mitigate   = flag.Bool("mitigate", false, "announce BGP FlowSpec discard rules on sustained attacks")
-		thresholds = flag.String("thresholds", "", "JSON file with classifier thresholds; re-read on SIGHUP (empty: paper defaults)")
+		listen      = flag.String("listen", "127.0.0.1:4739", "UDP listen address (4739 is the IPFIX port)")
+		demo        = flag.Bool("demo", false, "feed a day of synthetic traffic through the socket and exit")
+		seed        = flag.Uint64("seed", 1, "demo traffic seed")
+		scale       = flag.Float64("scale", 0.3, "demo traffic scale")
+		loss        = flag.Float64("loss", 0, "demo fault injection: datagram drop rate through chaos.Proxy")
+		reorder     = flag.Float64("reorder", 0, "demo fault injection: datagram reorder rate")
+		chaosSeed   = flag.Uint64("chaosseed", 7, "fault injection seed")
+		dashEvery   = flag.Duration("dashboard", 0, "print a telemetry dashboard to stderr at this interval (0 disables)")
+		storeDir    = flag.String("store.dir", "", "persist decoded flow records into a flowstore archive at this directory")
+		par         = flag.Int("parallelism", 0, "detection pipeline shard count: 0 = NumCPU, 1 = serial (alerts identical)")
+		ckptDir     = flag.String("checkpoint.dir", "", "checkpoint monitor state into this directory (enables restore-on-start)")
+		ckptEvery   = flag.Duration("checkpoint.every", time.Minute, "checkpoint interval (with -checkpoint.dir)")
+		evalEvery   = flag.Duration("slo.every", 5*time.Second, "overload/SLO evaluation interval")
+		sloP99      = flag.Duration("slo.p99", 0, "detection-latency p99 objective (0: 250ms default)")
+		mitigate    = flag.Bool("mitigate", false, "announce BGP FlowSpec discard rules on sustained attacks")
+		thresholds  = flag.String("thresholds", "", "JSON file with classifier thresholds; re-read on SIGHUP (empty: paper defaults)")
+		incidentDir = flag.String("incident.dir", "", "dump the flight-recorder event ring here when an incident trigger fires (SLO burn breach, shed escalation, drain, checkpoint failure)")
+		ringSize    = flag.Int("incident.ring", eventlog.DefaultRingSize, "flight-recorder event ring capacity")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -99,6 +102,19 @@ func main() {
 	reg := telemetry.Default()
 	col.RegisterTelemetry(reg)
 	pipe.RegisterTelemetry(reg)
+
+	// The flight recorder is process-wide: every component (ipfix, pipe,
+	// classify, service, flowstore, bgp) emits into the same ring, so an
+	// incident dump carries the full cross-layer story.
+	events := eventlog.New(*ringSize)
+	eventlog.SetActive(events)
+	events.RegisterTelemetry(reg)
+	if *incidentDir != "" {
+		if err := os.MkdirAll(*incidentDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("incident dumps to %s\n", *incidentDir)
+	}
 
 	var store *flowstore.Store
 	if *storeDir != "" {
@@ -133,9 +149,11 @@ func main() {
 			Announce: func(r bgp.FlowSpecRule) { fmt.Printf("mitigate: announce %s\n", r) },
 			Withdraw: func(r bgp.FlowSpecRule) { fmt.Printf("mitigate: withdraw %s\n", r) },
 		},
-		SLO:        service.SLOOptions{TargetP99: *sloP99},
-		QueueDepth: col.QueueDepth,
-		Registry:   reg,
+		SLO:         service.SLOOptions{TargetP99: *sloP99},
+		QueueDepth:  col.QueueDepth,
+		Registry:    reg,
+		Events:      events,
+		IncidentDir: *incidentDir,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,12 +6,18 @@
 // With -store.dir it replays a flowstore archive written by flowgen
 // -out instead of regenerating the traffic — same results, since the
 // classifier is order-insensitive and the archive codec is lossless.
+//
+// With -incident it instead reads a flight-recorder dump written by
+// the collector daemon (-incident.dir) and reconstructs each attack's
+// lifecycle timeline — detection latency, time to mitigate,
+// suppression ratio — from the recorded events, offline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"booterscope/internal/core"
 	"booterscope/internal/flow"
@@ -19,6 +25,7 @@ import (
 	"booterscope/internal/pipe"
 	"booterscope/internal/telemetry"
 	"booterscope/internal/telemetry/debugserver"
+	"booterscope/internal/telemetry/eventlog"
 	"booterscope/internal/textplot"
 	"booterscope/internal/trafficgen"
 )
@@ -32,9 +39,17 @@ func main() {
 		days     = flag.Int("days", 30, "days of traffic to analyze")
 		storeDir = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
 		par      = flag.Int("parallelism", 0, "pipeline shard count: 0 = NumCPU, 1 = serial (results identical)")
+		incident = flag.String("incident", "", "read a collector incident dump (.bsevt) and print attack timelines instead of running the landscape analysis")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
+
+	if *incident != "" {
+		if err := readIncident(*incident); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	reg := telemetry.Default()
 	flow.RegisterTelemetry(reg)
@@ -81,6 +96,64 @@ func main() {
 		fig2a(dist)
 	}
 	fig2bc(vantages)
+}
+
+// readIncident loads one flight-recorder dump and prints the attack
+// lifecycle timelines it contains — the offline counterpart of the
+// collector's live /attacks endpoint.
+func readIncident(path string) error {
+	d, err := eventlog.LoadDump(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("incident dump %s\n", path)
+	fmt.Printf("  trigger: %s at %s\n", d.Reason,
+		time.Unix(0, d.WallNanos).UTC().Format(time.RFC3339Nano))
+	fmt.Printf("  %d events in ring\n", len(d.Events))
+	tls := eventlog.BuildTimelines(d.Events)
+	if len(tls) == 0 {
+		fmt.Println("  no attack lifecycles recorded")
+		return nil
+	}
+	for _, tl := range tls {
+		fmt.Printf("\nattack %d  victim %s\n", tl.AttackID, tl.Victim)
+		if tl.OpenedWallNanos != 0 {
+			fmt.Printf("  opened    %s\n",
+				time.Unix(0, tl.OpenedWallNanos).UTC().Format(time.RFC3339Nano))
+		}
+		transitions := []struct {
+			name string
+			mono int64
+		}{
+			{"threshold crossed", tl.ThresholdMonoNanos},
+			{"alert raised", tl.AlertMonoNanos},
+			{"flowspec announced", tl.AnnouncedMonoNanos},
+			{"suppression observed", tl.SuppressionMonoNanos},
+			{"flowspec withdrawn", tl.WithdrawnMonoNanos},
+			{"evicted", tl.EvictedMonoNanos},
+		}
+		for _, tr := range transitions {
+			if tr.mono != 0 {
+				fmt.Printf("  %-20s +%.3fs\n", tr.name,
+					float64(tr.mono-tl.OpenedMonoNanos)/1e9)
+			}
+		}
+		if tl.DetectionLatencySeconds > 0 {
+			fmt.Printf("  detection latency: %.3fs\n", tl.DetectionLatencySeconds)
+		}
+		if tl.TimeToMitigateSeconds > 0 {
+			fmt.Printf("  time to mitigate:  %.3fs\n", tl.TimeToMitigateSeconds)
+		}
+		if tl.AlertGbps > 0 {
+			fmt.Printf("  alert: %.2f Gbps from %d sources\n", tl.AlertGbps, tl.AlertSources)
+		}
+		if tl.SuppressedRecords > 0 {
+			fmt.Printf("  suppressed: %d records, %d bytes (ratio %.3f)\n",
+				tl.SuppressedRecords, tl.SuppressedBytes, tl.SuppressionRatio)
+		}
+		fmt.Printf("  %d events in trace\n", len(tl.Events))
+	}
+	return nil
 }
 
 func fig2a(dist *core.PacketSizeDistribution) {

@@ -167,6 +167,16 @@ func TestTelemetryRequiredGolden(t *testing.T) {
 	runGolden(t, suite, "telemreq")
 }
 
+func TestEventlogGolden(t *testing.T) {
+	suite := NewSuite(NewTelemetry(TelemetryConfig{}))
+	runGolden(t, suite, "evlog")
+}
+
+func TestEventlogRegistrationGolden(t *testing.T) {
+	suite := NewSuite(NewTelemetry(TelemetryConfig{}))
+	runGolden(t, suite, "evlognoreg")
+}
+
 func TestDirectiveErrorsGolden(t *testing.T) {
 	// The determinism analyzer is in the suite so the unsuppressed
 	// findings below the broken directives are exercised too.

@@ -12,6 +12,10 @@ import (
 // this analyzer inspects.
 const telemetryPkgPath = "booterscope/internal/telemetry"
 
+// eventlogPkgPath is the flight-recorder package; Emit call sites
+// follow the same component-prefixed naming contract as metrics.
+const eventlogPkgPath = "booterscope/internal/telemetry/eventlog"
+
 // maxLabelCardinality mirrors telemetry.DefaultMaxCardinality: a
 // SetMaxCardinality above it defeats the registry's bounded-label
 // guarantee (a scrape must never be blown up by adversarial label
@@ -97,6 +101,7 @@ func (t *Telemetry) Check(pkg *Pkg) []Diagnostic {
 	out = append(out, t.checkRegistration(pkg)...)
 	out = append(out, t.checkCallSites(pkg)...)
 	out = append(out, t.checkRequiredMetrics(pkg)...)
+	out = append(out, t.checkEventCalls(pkg)...)
 	return out
 }
 
@@ -111,15 +116,11 @@ func (t *Telemetry) checkRegistration(pkg *Pkg) []Diagnostic {
 	}
 	var accessorPos []ast.Node
 	var accessor string
-	hasRegister := false
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok {
 				continue
-			}
-			if fd.Name.Name == "RegisterTelemetry" {
-				hasRegister = true
 			}
 			if fd.Recv != nil && accessorNames[fd.Name.Name] &&
 				(fd.Type.Params == nil || fd.Type.Params.NumFields() == 0) {
@@ -130,7 +131,7 @@ func (t *Telemetry) checkRegistration(pkg *Pkg) []Diagnostic {
 			}
 		}
 	}
-	if hasRegister {
+	if hasRegisterTelemetry(pkg) {
 		return nil
 	}
 	if t.required[pkg.Path] {
@@ -143,6 +144,19 @@ func (t *Telemetry) checkRegistration(pkg *Pkg) []Diagnostic {
 			"package %s defines a %s() accessor but no RegisterTelemetry; bespoke stats structs must be views over registry metrics (DESIGN.md §6)", pkg.Path, accessor)}
 	}
 	return nil
+}
+
+// hasRegisterTelemetry reports whether the package declares a
+// RegisterTelemetry function or method.
+func hasRegisterTelemetry(pkg *Pkg) bool {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "RegisterTelemetry" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // checkCallSites enforces rules 2 and 3 at every registry call.
@@ -275,4 +289,101 @@ func (t *Telemetry) checkRequiredMetrics(pkg *Pkg) []Diagnostic {
 		}
 	}
 	return out
+}
+
+// checkEventCalls extends the naming contract to the flight recorder:
+// every constant event kind passed to (*eventlog.Log).Emit must be
+// component-prefixed snake_case (the component argument is the
+// prefix), the component must be one the package owns, and a package
+// that emits events must also define RegisterTelemetry — the ring's
+// occupancy and per-component emit counters are part of the same
+// scrape surface as its metrics.
+func (t *Telemetry) checkEventCalls(pkg *Pkg) []Diagnostic {
+	if t.exempt[pkg.Path] || pkg.Path == eventlogPkgPath {
+		return nil
+	}
+	var out []Diagnostic
+	emits := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pkg, call)
+			if fn == nil || pkgPathOf(fn) != eventlogPkgPath ||
+				fn.Name() != "Emit" || !isLogMethod(fn) {
+				return true
+			}
+			emits = true
+			out = append(out, t.checkEventKind(pkg, call)...)
+			return true
+		})
+	}
+	if emits && !hasRegisterTelemetry(pkg) {
+		out = append(out, diag(pkg, pkg.Files[0].Name.Pos(), t.Name(),
+			"package %s emits flight-recorder events but defines no RegisterTelemetry; event emission is part of the same scrape surface as metrics (DESIGN.md §12)", pkg.Path))
+	}
+	return out
+}
+
+// isLogMethod reports whether fn is a method on *eventlog.Log.
+func isLogMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	tname := sig.Recv().Type()
+	if p, ok := tname.(*types.Pointer); ok {
+		tname = p.Elem()
+	}
+	named, ok := tname.(*types.Named)
+	return ok && named.Obj().Name() == "Log"
+}
+
+// checkEventKind validates one Emit call's constant component and kind
+// arguments (dynamic values are left to runtime conventions, exactly
+// like dynamic metric names).
+func (t *Telemetry) checkEventKind(pkg *Pkg, call *ast.CallExpr) []Diagnostic {
+	if len(call.Args) < 2 {
+		return nil
+	}
+	var out []Diagnostic
+	component, haveComponent := constString(pkg, call.Args[0])
+	if haveComponent {
+		allowed := false
+		for _, p := range t.allowedPrefixes(pkg) {
+			if component == p {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			out = append(out, diag(pkg, call.Args[0].Pos(), t.Name(),
+				"event component %q is not owned by package %s (expected one of: %s)",
+				component, pkg.Path, strings.Join(t.allowedPrefixes(pkg), ", ")))
+		}
+	}
+	kind, haveKind := constString(pkg, call.Args[1])
+	if !haveKind {
+		return out
+	}
+	if !metricNameRE.MatchString(kind) {
+		return append(out, diag(pkg, call.Args[1].Pos(), t.Name(),
+			"event kind %q does not match component-prefixed snake_case (%s)", kind, metricNameRE))
+	}
+	if haveComponent && !strings.HasPrefix(kind, component+"_") {
+		out = append(out, diag(pkg, call.Args[1].Pos(), t.Name(),
+			"event kind %q must start with its component prefix %q", kind, component+"_"))
+	}
+	return out
+}
+
+// constString resolves an expression to its compile-time string value.
+func constString(pkg *Pkg, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
 }

@@ -1,0 +1,28 @@
+// Package evlog seeds flight-recorder naming violations: malformed
+// event kinds, kinds whose prefix disagrees with their component, and
+// a component the package does not own. RegisterTelemetry is present,
+// so only the per-call rules fire.
+package evlog
+
+import (
+	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
+)
+
+// RegisterTelemetry satisfies the emitting-package registration rule.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("evlog_things_total", "well-formed", telemetry.NewCounter())
+}
+
+// kindSuffix is not a compile-time constant once concatenated with a
+// runtime value, so the dynamic call below must not be checked.
+func kindSuffix() string { return "evlog_dynamic_kind" }
+
+// Emit exercises the event naming rules.
+func Emit(l *eventlog.Log) {
+	l.Emit("evlog", "evlog_thing_happened", 0)
+	l.Emit("evlog", "Evlog_Bad_Kind", 0)             // want "does not match component-prefixed snake_case"
+	l.Emit("evlog", "otherpkg_thing_happened", 0)    // want "must start with its component prefix"
+	l.Emit("stranger", "stranger_thing_happened", 0) // want "component \"stranger\" is not owned by package"
+	l.Emit("evlog", kindSuffix(), 0)                 // dynamic kind: left to runtime conventions
+}

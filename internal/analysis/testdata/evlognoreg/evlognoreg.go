@@ -1,0 +1,11 @@
+// Package evlognoreg seeds the registration violation: it emits
+// flight-recorder events but defines no RegisterTelemetry, so its ring
+// accounting is invisible to the scrape surface.
+package evlognoreg // want "emits flight-recorder events but defines no RegisterTelemetry"
+
+import "booterscope/internal/telemetry/eventlog"
+
+// Note emits one well-formed event; the finding is package-level.
+func Note() {
+	eventlog.Active().Emit("evlognoreg", "evlognoreg_noted", 0)
+}

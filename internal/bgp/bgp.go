@@ -12,6 +12,8 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // BlackholeCommunity is the well-known BGP community (RFC 7999,
@@ -310,10 +312,20 @@ func (s *Session) Flap() {
 	if s.state == StateEstablished {
 		s.flaps++
 		metricSessionFlaps.Inc()
+		s.emitFlapLocked("forced")
 	}
 	s.state = StateIdle
 	s.satTicks = 0
 	s.downTicks = 0
+}
+
+// emitFlapLocked records the teardown in the flight recorder — session
+// flaps are exactly the collateral the incident dump exists to explain.
+func (s *Session) emitFlapLocked(reason string) {
+	eventlog.Active().Emit("bgp", "bgp_session_flap", 0,
+		eventlog.AUint("local_as", uint64(s.LocalAS)),
+		eventlog.AUint("peer_as", uint64(s.PeerAS)),
+		eventlog.A("reason", reason))
 }
 
 // Flaps reports how many times the session flapped.
@@ -355,6 +367,7 @@ func (s *Session) Tick(utilization float64) bool {
 			s.state = StateIdle
 			s.flaps++
 			metricSessionFlaps.Inc()
+			s.emitFlapLocked("keepalive_starvation")
 			s.satTicks = 0
 			s.downTicks = 0
 			return true

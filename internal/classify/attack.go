@@ -1,0 +1,110 @@
+package classify
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+
+	"booterscope/internal/telemetry/eventlog"
+)
+
+// AttackID derives the stable identifier of one attack: the FNV-1a
+// hash of the victim address and the unix minute of its first
+// suspicious bin. The ID is a pure function of stream content, so it
+// is identical across shard counts (victim-hash routing puts each
+// victim's records on one shard, and the watermark discipline makes
+// that shard's eviction clock — and therefore the "first bin while no
+// attack was open" decision — match the serial monitor exactly) and
+// across a checkpoint restart (open attacks are persisted in the
+// monitor snapshot, so a restored daemon keeps the same IDs).
+func AttackID(victim [16]byte, firstMinuteUnix int64) uint64 {
+	h := fnv.New64a()
+	h.Write(victim[:])
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(firstMinuteUnix))
+	h.Write(buf[:])
+	id := h.Sum64()
+	if id == 0 {
+		// 0 means "no attack" in Event.AttackID; remap the one
+		// colliding hash value.
+		id = 1
+	}
+	return id
+}
+
+// attackState tracks one victim's open attack for lifecycle tracing.
+// It is bookkeeping for the flight recorder only: alert decisions are
+// made from the minute bins and re-alert markers exactly as before,
+// so the attack map changes no classification result.
+type attackState struct {
+	id uint64
+	// openedUnix is the unix minute of the first suspicious bin.
+	openedUnix int64
+	// lastUnix is the newest bin minute seen; when it drops past the
+	// retention horizon every bin of the attack is gone and the attack
+	// is evicted.
+	lastUnix int64
+}
+
+// events resolves the recorder this monitor emits lifecycle events
+// into: an explicitly attached one, else the process-wide recorder
+// (which may be nil — Emit is nil-safe).
+func (m *Monitor) events() *eventlog.Log {
+	if m.Events != nil {
+		return m.Events
+	}
+	return eventlog.Active()
+}
+
+// openAttack returns the victim's attack state, creating it — and
+// emitting the attack-opened event — at the first suspicious bin
+// while no attack is open.
+func (m *Monitor) openAttack(victim netip.Addr, minuteUnix int64) *attackState {
+	st, ok := m.attacks[victim]
+	if !ok {
+		st = &attackState{
+			id:         AttackID(victim.As16(), minuteUnix),
+			openedUnix: minuteUnix,
+			lastUnix:   minuteUnix,
+		}
+		m.attacks[victim] = st
+		m.events().Emit("classify", "classify_attack_opened", st.id,
+			eventlog.A("victim", victim.String()),
+			eventlog.AInt("minute_unix", minuteUnix))
+	}
+	if minuteUnix > st.lastUnix {
+		st.lastUnix = minuteUnix
+	}
+	return st
+}
+
+// evictAttacks closes attacks whose newest bin fell past the horizon.
+// Victims are emitted in sorted order so the event stream does not
+// leak map iteration order.
+func (m *Monitor) evictAttacks(horizonUnix int64) {
+	var victims []netip.Addr
+	for v, st := range m.attacks {
+		if st.lastUnix < horizonUnix {
+			victims = append(victims, v)
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	sortAddrs(victims)
+	for _, v := range victims {
+		st := m.attacks[v]
+		delete(m.attacks, v)
+		m.events().Emit("classify", "classify_attack_evicted", st.id,
+			eventlog.A("victim", v.String()),
+			eventlog.AInt("opened_minute_unix", st.openedUnix),
+			eventlog.AInt("last_minute_unix", st.lastUnix))
+	}
+}
+
+// sortAddrs orders victims bytewise so eviction events (and snapshot
+// folds) are independent of map iteration order.
+func sortAddrs(addrs []netip.Addr) {
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Compare(addrs[j]) < 0 })
+}

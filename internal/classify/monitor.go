@@ -8,11 +8,17 @@ import (
 	"booterscope/internal/flow"
 	"booterscope/internal/packet"
 	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // Alert reports a victim newly crossing the conservative attack
 // thresholds — the event a live collector raises to operators.
 type Alert struct {
+	// ID is the attack's stable lifecycle identifier (see AttackID):
+	// every flight-recorder event of the same attack — from the first
+	// suspicious bin through FlowSpec announcement and withdrawal —
+	// carries it, so downstream consumers can join alerts to traces.
+	ID     uint64
 	Victim netip.Addr
 	// Minute is the minute bin that crossed the thresholds.
 	Minute time.Time
@@ -83,6 +89,12 @@ func (h MonitorHealth) String() string {
 type monAgg struct {
 	bytes   uint64
 	sources *flow.SourceSet
+	// crossed latches the bin's first threshold crossing so the
+	// lifecycle event fires once per bin. Both rate and source count
+	// grow monotonically within a bin, so the latch equals "the
+	// thresholds hold now" and restoreBin recomputes it instead of
+	// persisting it.
+	crossed bool
 }
 
 // Monitor is the streaming counterpart of Classifier: it consumes flow
@@ -108,9 +120,14 @@ type Monitor struct {
 	// MaxSourcesPerBin caps each bin's distinct-source set (default
 	// DefaultMaxSourcesPerBin; <= 0 selects the default).
 	MaxSourcesPerBin int
+	// Events, when set, receives attack lifecycle events; nil falls
+	// back to the process-wide recorder (eventlog.Active), which may
+	// itself be nil — recording disabled. Set before the first Add.
+	Events *eventlog.Log
 
 	minutes map[minuteKey]*monAgg
 	alerted map[netip.Addr]time.Time
+	attacks map[netip.Addr]*attackState
 	latest  time.Time
 	m       *monitorMetrics
 }
@@ -164,6 +181,7 @@ func newMonitorWith(cfg Config, m *monitorMetrics) *Monitor {
 		MaxSourcesPerBin: DefaultMaxSourcesPerBin,
 		minutes:          make(map[minuteKey]*monAgg),
 		alerted:          make(map[netip.Addr]time.Time),
+		attacks:          make(map[netip.Addr]*attackState),
 		m:                m,
 	}
 }
@@ -258,6 +276,10 @@ func (m *Monitor) AddAt(r *flow.Record, watermarkUnix int64) *Alert {
 	m.m.matched.Inc()
 	minute := r.Start.UTC().Truncate(time.Minute)
 	m.AdvanceTo(watermarkUnix)
+	// Open (or extend) the victim's attack after the clock advance so
+	// eviction of a previous attack is observed first — the same order
+	// the serial and sharded monitors both see.
+	st := m.openAttack(r.Dst, minute.Unix())
 	key := minuteKey{dst: r.Dst.As16(), minute: minute.Unix()}
 	agg, ok := m.minutes[key]
 	if !ok {
@@ -283,12 +305,26 @@ func (m *Monitor) AddAt(r *flow.Record, watermarkUnix int64) *Alert {
 	if rate <= m.cfg.MinRateBps || agg.sources.Len() <= m.cfg.MinSources {
 		return nil
 	}
+	if !agg.crossed {
+		agg.crossed = true
+		m.events().Emit("classify", "classify_threshold_crossed", st.id,
+			eventlog.A("victim", r.Dst.String()),
+			eventlog.AInt("minute_unix", minute.Unix()),
+			eventlog.AFloat("gbps", rate/1e9),
+			eventlog.AInt("sources", int64(agg.sources.Len())))
+	}
 	if last, ok := m.alerted[r.Dst]; ok && minute.Sub(last) < m.ReAlertAfter {
 		return nil
 	}
 	m.alerted[r.Dst] = minute
 	m.m.alerts.Inc()
+	m.events().Emit("classify", "classify_alert_raised", st.id,
+		eventlog.A("victim", r.Dst.String()),
+		eventlog.AFloat("gbps", rate/1e9),
+		eventlog.AInt("sources", int64(agg.sources.Len())),
+		eventlog.AUint("bytes", agg.bytes))
 	return &Alert{
+		ID:      st.id,
 		Victim:  r.Dst,
 		Minute:  minute,
 		Gbps:    rate / 1e9,
@@ -311,6 +347,7 @@ func (m *Monitor) evict() {
 	// Maintained additively (not Set(len)) so shards sharing one
 	// metrics struct sum to the total table occupancy.
 	m.m.occupancy.Add(-float64(dropped))
+	m.evictAttacks(horizon)
 	alertHorizon := m.latest.Add(-2 * m.ReAlertAfter)
 	for victim, last := range m.alerted {
 		if last.Before(alertHorizon) {

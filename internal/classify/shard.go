@@ -6,6 +6,7 @@ import (
 	"booterscope/internal/flow"
 	"booterscope/internal/pipe"
 	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // ShardedMonitor runs one Monitor per pipeline shard and merges their
@@ -49,6 +50,15 @@ func NewShardedMonitor(cfg Config, n int) *ShardedMonitor {
 		})
 	}
 	return s
+}
+
+// SetEvents attaches the flight recorder every shard monitor emits
+// attack lifecycle events into. Call before the pipeline starts; nil
+// reverts the shards to the process-wide recorder.
+func (s *ShardedMonitor) SetEvents(l *eventlog.Log) {
+	for _, sh := range s.shards {
+		sh.mon.Events = l
+	}
 }
 
 // Monitors exposes the per-shard monitors for configuration

@@ -30,6 +30,7 @@ type MonitorSnapshot struct {
 	LatestValid bool
 	Bins        []BinSnapshot
 	Alerted     []AlertMarker
+	Attacks     []AttackSnapshot
 	Stats       MonitorStats
 }
 
@@ -47,6 +48,17 @@ type BinSnapshot struct {
 type AlertMarker struct {
 	Victim     [16]byte
 	MinuteUnix int64
+}
+
+// AttackSnapshot is one open attack's lifecycle state. Persisting it
+// keeps attack IDs stable across a checkpoint restart: a restored
+// daemon re-raising a mid-window alert stamps it with the same ID the
+// uninterrupted run would have.
+type AttackSnapshot struct {
+	Victim     [16]byte
+	ID         uint64
+	OpenedUnix int64
+	LastUnix   int64
 }
 
 // Snapshot captures the monitor's state. The caller must ensure the
@@ -72,7 +84,31 @@ func (m *Monitor) Snapshot() *MonitorSnapshot {
 		s.Alerted = append(s.Alerted, AlertMarker{Victim: victim.As16(), MinuteUnix: last.Unix()})
 	}
 	sortMarkers(s.Alerted)
+	s.Attacks = attackSnapshots(m.attacks)
 	return s
+}
+
+func attackSnapshots(attacks map[netip.Addr]*attackState) []AttackSnapshot {
+	if len(attacks) == 0 {
+		return nil
+	}
+	out := make([]AttackSnapshot, 0, len(attacks))
+	for victim, st := range attacks {
+		out = append(out, AttackSnapshot{
+			Victim:     victim.As16(),
+			ID:         st.id,
+			OpenedUnix: st.openedUnix,
+			LastUnix:   st.lastUnix,
+		})
+	}
+	sortAttacks(out)
+	return out
+}
+
+func sortAttacks(as []AttackSnapshot) {
+	sort.Slice(as, func(i, j int) bool {
+		return bytes.Compare(as[i].Victim[:], as[j].Victim[:]) < 0
+	})
 }
 
 func sortBins(bins []BinSnapshot) {
@@ -94,15 +130,31 @@ func sortMarkers(ms []AlertMarker) {
 // state is restored separately (once, not per shard).
 func (m *Monitor) restoreBin(b *BinSnapshot) {
 	key := minuteKey{dst: b.Victim, minute: b.MinuteUnix}
-	m.minutes[key] = &monAgg{
+	agg := &monAgg{
 		bytes:   b.Bytes,
 		sources: flow.RestoreSourceSet(m.maxSourcesPerBin(), b.Sources, b.SourceOverflow),
 	}
+	// Recompute the threshold latch (rate and sources grow
+	// monotonically within a bin, so "crossed earlier" equals "crossed
+	// now"): a restored bin must not re-fire its crossing event.
+	rate := float64(agg.bytes) * 8 / 60
+	agg.crossed = rate > m.cfg.MinRateBps && agg.sources.Len() > m.cfg.MinSources
+	m.minutes[key] = agg
 	m.m.occupancy.Add(1)
 }
 
 func (m *Monitor) restoreMarker(a *AlertMarker) {
 	m.alerted[netip.AddrFrom16(a.Victim).Unmap()] = time.Unix(a.MinuteUnix, 0).UTC()
+}
+
+// restoreAttack reinstates one open attack without emitting an opened
+// event — the process that took the checkpoint already recorded it.
+func (m *Monitor) restoreAttack(a *AttackSnapshot) {
+	m.attacks[netip.AddrFrom16(a.Victim).Unmap()] = &attackState{
+		id:         a.ID,
+		openedUnix: a.OpenedUnix,
+		lastUnix:   a.LastUnix,
+	}
 }
 
 func (m *Monitor) restoreClock(s *MonitorSnapshot) {
@@ -117,12 +169,16 @@ func (m *Monitor) restoreClock(s *MonitorSnapshot) {
 func (m *Monitor) Restore(s *MonitorSnapshot) {
 	m.minutes = make(map[minuteKey]*monAgg, len(s.Bins))
 	m.alerted = make(map[netip.Addr]time.Time, len(s.Alerted))
+	m.attacks = make(map[netip.Addr]*attackState, len(s.Attacks))
 	m.m.occupancy.Add(-m.m.occupancy.Value())
 	for i := range s.Bins {
 		m.restoreBin(&s.Bins[i])
 	}
 	for i := range s.Alerted {
 		m.restoreMarker(&s.Alerted[i])
+	}
+	for i := range s.Attacks {
+		m.restoreAttack(&s.Attacks[i])
 	}
 	m.restoreClock(s)
 	restoreStats(m.m, s.Stats)
@@ -170,9 +226,18 @@ func (s *ShardedMonitor) Snapshot() *MonitorSnapshot {
 		for victim, last := range m.alerted {
 			snap.Alerted = append(snap.Alerted, AlertMarker{Victim: victim.As16(), MinuteUnix: last.Unix()})
 		}
+		for victim, st := range m.attacks {
+			snap.Attacks = append(snap.Attacks, AttackSnapshot{
+				Victim:     victim.As16(),
+				ID:         st.id,
+				OpenedUnix: st.openedUnix,
+				LastUnix:   st.lastUnix,
+			})
+		}
 	}
 	sortBins(snap.Bins)
 	sortMarkers(snap.Alerted)
+	sortAttacks(snap.Attacks)
 	return snap
 }
 
@@ -205,6 +270,10 @@ func (s *ShardedMonitor) Restore(snap *MonitorSnapshot) {
 	for i := range snap.Alerted {
 		a := &snap.Alerted[i]
 		s.shards[pipe.KeyDstAddr(a.Victim)%n].mon.restoreMarker(a)
+	}
+	for i := range snap.Attacks {
+		a := &snap.Attacks[i]
+		s.shards[pipe.KeyDstAddr(a.Victim)%n].mon.restoreAttack(a)
 	}
 	for _, sh := range s.shards {
 		sh.mon.restoreClock(snap)

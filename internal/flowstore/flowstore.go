@@ -34,6 +34,7 @@ import (
 
 	"booterscope/internal/chaos"
 	"booterscope/internal/flow"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // Defaults.
@@ -247,6 +248,9 @@ func (s *Store) recover() error {
 				s.rec.TornSegments++
 				s.rec.TruncatedBytes += scan.tornBytes
 				metricTruncatedBytes.Add(uint64(scan.tornBytes))
+				eventlog.Active().Emit("flowstore", "flowstore_recovery_truncated", 0,
+					eventlog.A("file", rel),
+					eventlog.AInt("torn_bytes", scan.tornBytes))
 			}
 			if len(scan.blocks) == 0 {
 				// Nothing recoverable: drop the empty shell.
@@ -281,6 +285,9 @@ func (s *Store) recover() error {
 			s.rec.RecoveredSegments++
 			s.rec.RecoveredRecords += scan.records
 			metricRecoveredRecords.Add(scan.records)
+			eventlog.Active().Emit("flowstore", "flowstore_recovery_adopted", 0,
+				eventlog.A("file", rel),
+				eventlog.AUint("records", scan.records))
 			changed = true
 			if seq >= sw.segSeq {
 				sw.segSeq = seq + 1
@@ -436,6 +443,11 @@ func (s *Store) sealSegment(sw *shardWriter, part int64, w *segmentWriter) error
 	})
 	s.stats.SegmentsSealed++
 	metricSegmentsSealed.Inc()
+	eventlog.Active().Emit("flowstore", "flowstore_segment_sealed", 0,
+		eventlog.AInt("shard", int64(sw.id)),
+		eventlog.A("file", filepath.Base(w.path)),
+		eventlog.AUint("records", w.records),
+		eventlog.AUint("bytes", w.bytes))
 	return nil
 }
 

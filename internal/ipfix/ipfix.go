@@ -17,6 +17,7 @@ import (
 	"booterscope/internal/flow"
 	"booterscope/internal/netutil"
 	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // Protocol constants.
@@ -379,6 +380,13 @@ func (d *Decoder) account(domain, seq uint32, n, unknownSets int) {
 		case diff > 0 && diff < seqRestartThreshold:
 			st.stats.SeqGapRecords += uint64(diff)
 			d.m.seqGapRecords.Add(uint64(diff))
+			// A gap during an attack window is lost evidence; the flight
+			// recorder keeps it next to the detection events it skews.
+			eventlog.Active().Emit("ipfix", "ipfix_sequence_gap", 0,
+				eventlog.AUint("domain", uint64(domain)),
+				eventlog.AUint("expected", uint64(st.expected)),
+				eventlog.AUint("got", uint64(seq)),
+				eventlog.AUint("gap_records", uint64(diff)))
 			st.expected = seq + uint32(n)
 		case diff < 0 && diff > -seqRestartThreshold:
 			if st.sawRecently(seq) {

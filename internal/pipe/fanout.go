@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"booterscope/internal/flow"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // shardQueueDepth bounds each shard channel in batches. A routing
@@ -132,10 +133,17 @@ func (f *FanOut) worker(s int) {
 
 func (f *FanOut) fail(err error) {
 	f.errMu.Lock()
-	if f.firstErr == nil {
+	latched := f.firstErr == nil
+	if latched {
 		f.firstErr = err
 	}
 	f.errMu.Unlock()
+	if latched {
+		// Only the latched (first) error is emitted: it is the one err()
+		// reports and the one that aborted the pipeline.
+		eventlog.Active().Emit("pipe", "pipe_stage_error", 0,
+			eventlog.A("error", err.Error()))
+	}
 	f.failed.Store(true)
 }
 

@@ -26,6 +26,7 @@ import (
 //	                config, monitor counters
 //	    2 bins    — a chunk of (victim, minute) bins with source sets
 //	    3 alerted — re-alert suppression markers
+//	    4 attacks — open attack lifecycle states (stable attack IDs)
 //	    255 trailer — end marker; a file without it is torn
 //
 // Writes go to checkpoint.tmp and are published by atomic rename, so
@@ -46,9 +47,13 @@ const (
 	frameHeader  = 1
 	frameBins    = 2
 	frameAlerted = 3
+	frameAttacks = 4
 	frameTrailer = 255
 
-	ckptVersion = 1
+	// ckptVersion 2 added the attacks frame. Version 1 files are
+	// rejected as unsupported; the daemon then cold-starts and replays
+	// the archive — the same stance it takes on a corrupt checkpoint.
+	ckptVersion = 2
 
 	// binsPerFrame chunks the victim table so large checkpoints are
 	// written (and fault-injected) in multiple operations.
@@ -222,6 +227,39 @@ func decodeAlerted(b []byte, snap *classify.MonitorSnapshot) error {
 	return nil
 }
 
+func encodeAttacks(as []classify.AttackSnapshot) []byte {
+	b := []byte{frameAttacks}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(as)))
+	for i := range as {
+		b = append(b, as[i].Victim[:]...)
+		b = binary.BigEndian.AppendUint64(b, as[i].ID)
+		b = binary.BigEndian.AppendUint64(b, uint64(as[i].OpenedUnix))
+		b = binary.BigEndian.AppendUint64(b, uint64(as[i].LastUnix))
+	}
+	return b
+}
+
+func decodeAttacks(b []byte, snap *classify.MonitorSnapshot) error {
+	if len(b) < 5 {
+		return fmt.Errorf("%w: short attacks frame", ErrCheckpointCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(b[1:]))
+	if len(b) != 5+n*40 {
+		return fmt.Errorf("%w: attacks frame is %d bytes, want %d", ErrCheckpointCorrupt, len(b), 5+n*40)
+	}
+	off := 5
+	for i := 0; i < n; i++ {
+		var a classify.AttackSnapshot
+		copy(a.Victim[:], b[off:])
+		a.ID = binary.BigEndian.Uint64(b[off+16:])
+		a.OpenedUnix = int64(binary.BigEndian.Uint64(b[off+24:]))
+		a.LastUnix = int64(binary.BigEndian.Uint64(b[off+32:]))
+		snap.Attacks = append(snap.Attacks, a)
+		off += 40
+	}
+	return nil
+}
+
 // EncodeCheckpoint serializes cp into the framed on-disk form. The
 // encoding is deterministic: equal states produce identical bytes (the
 // restore-equivalence test pins this).
@@ -238,6 +276,7 @@ func EncodeCheckpoint(cp *Checkpoint) []byte {
 		bins = bins[n:]
 	}
 	out = appendFrame(out, encodeAlerted(cp.Monitor.Alerted))
+	out = appendFrame(out, encodeAttacks(cp.Monitor.Attacks))
 	return appendFrame(out, []byte{frameTrailer})
 }
 
@@ -282,6 +321,10 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 			}
 		case frameAlerted:
 			if err := decodeAlerted(payload, cp.Monitor); err != nil {
+				return nil, err
+			}
+		case frameAttacks:
+			if err := decodeAttacks(payload, cp.Monitor); err != nil {
 				return nil, err
 			}
 		case frameTrailer:

@@ -5,9 +5,12 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"booterscope/internal/bgp"
 	"booterscope/internal/classify"
+	"booterscope/internal/flow"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // MitigationOptions closes the detect→mitigate loop: on sustained
@@ -42,6 +45,14 @@ func (o MitigationOptions) withDefaults() MitigationOptions {
 	return o
 }
 
+// suppressedTotals is one victim's cumulative traffic observed while
+// its rule was active — the volume a deployed filter would have
+// discarded upstream.
+type suppressedTotals struct {
+	records uint64
+	bytes   uint64
+}
+
 // Mitigator tracks per-victim alert counts and the active FlowSpec
 // rules. Alerts arrive concurrently from shard workers.
 type Mitigator struct {
@@ -49,15 +60,27 @@ type Mitigator struct {
 	opts   MitigationOptions
 	counts map[netip.Addr]int
 	rules  map[netip.Addr]bgp.FlowSpecRule
+	// ids joins each victim to its attack's lifecycle ID so announce,
+	// suppression, and withdraw events link into the same timeline the
+	// classifier opened.
+	ids        map[netip.Addr]uint64
+	suppressed map[netip.Addr]*suppressedTotals
+	// active mirrors len(rules) so the ingest hot path can skip
+	// suppression accounting without taking the lock.
+	active atomic.Int32
 	m      *metrics
+	events func() *eventlog.Log
 }
 
-func newMitigator(opts MitigationOptions, m *metrics) *Mitigator {
+func newMitigator(opts MitigationOptions, m *metrics, events func() *eventlog.Log) *Mitigator {
 	return &Mitigator{
-		opts:   opts.withDefaults(),
-		counts: make(map[netip.Addr]int),
-		rules:  make(map[netip.Addr]bgp.FlowSpecRule),
-		m:      m,
+		opts:       opts.withDefaults(),
+		counts:     make(map[netip.Addr]int),
+		rules:      make(map[netip.Addr]bgp.FlowSpecRule),
+		ids:        make(map[netip.Addr]uint64),
+		suppressed: make(map[netip.Addr]*suppressedTotals),
+		m:          m,
+		events:     events,
 	}
 }
 
@@ -70,6 +93,9 @@ func (mt *Mitigator) OnAlert(a classify.Alert) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	v := a.Victim.Unmap()
+	if a.ID != 0 {
+		mt.ids[v] = a.ID
+	}
 	mt.counts[v]++
 	if mt.counts[v] < mt.opts.SustainAlerts {
 		return
@@ -94,11 +120,74 @@ func (mt *Mitigator) OnAlert(a classify.Alert) {
 		return
 	}
 	mt.rules[v] = rule
+	mt.active.Add(1)
 	mt.m.mitigationAnnounced.Inc()
 	mt.m.mitigationActive.Add(1)
+	mt.events().Emit("service", "service_flowspec_announced", mt.ids[v],
+		eventlog.A("victim", v.String()),
+		eventlog.AInt("min_packet_len", int64(rule.MinPacketLen)))
 	if mt.opts.Announce != nil {
 		mt.opts.Announce(rule)
 	}
+}
+
+// observeSuppressed accounts batch traffic matching an active rule as
+// suppressed attack volume and emits one cumulative suppression event
+// per touched victim. Called on the ingest path; with no active rules
+// it costs a single atomic load.
+func (mt *Mitigator) observeSuppressed(recs []flow.Record) {
+	if mt.active.Load() == 0 {
+		return
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	var touched []netip.Addr
+	for i := range recs {
+		r := &recs[i]
+		v := r.Dst.Unmap()
+		rule, ok := mt.rules[v]
+		if !ok {
+			continue
+		}
+		if uint8(r.Protocol) != rule.Protocol || r.SrcPort != rule.SrcPort ||
+			r.AvgPacketSize() < float64(rule.MinPacketLen) {
+			continue
+		}
+		t := mt.suppressed[v]
+		if t == nil {
+			t = &suppressedTotals{}
+			mt.suppressed[v] = t
+		}
+		if !containsAddr(touched, v) {
+			touched = append(touched, v)
+		}
+		t.records++
+		t.bytes += r.ScaledBytes()
+		mt.m.suppressedRecords.Inc()
+		mt.m.suppressedBytes.Add(r.ScaledBytes())
+	}
+	sort.Slice(touched, func(i, j int) bool {
+		a, b := touched[i].As16(), touched[j].As16()
+		return bytes.Compare(a[:], b[:]) < 0
+	})
+	for _, v := range touched {
+		t := mt.suppressed[v]
+		// Cumulative totals: timeline reconstruction takes the latest
+		// suppression event per attack, so ring overwrites lose nothing.
+		mt.events().Emit("service", "service_suppression_observed", mt.ids[v],
+			eventlog.A("victim", v.String()),
+			eventlog.AUint("records", t.records),
+			eventlog.AUint("bytes", t.bytes))
+	}
+}
+
+func containsAddr(addrs []netip.Addr, v netip.Addr) bool {
+	for _, a := range addrs {
+		if a == v {
+			return true
+		}
+	}
+	return false
 }
 
 // sortedVictims returns the active-rule victims in byte order, so
@@ -137,8 +226,12 @@ func (mt *Mitigator) WithdrawAll() []bgp.FlowSpecRule {
 	for _, v := range victims {
 		rule := mt.rules[v]
 		delete(mt.rules, v)
+		mt.active.Add(-1)
 		mt.m.mitigationWithdrawn.Inc()
 		mt.m.mitigationActive.Add(-1)
+		mt.events().Emit("service", "service_flowspec_withdrawn", mt.ids[v],
+			eventlog.A("victim", v.String()))
+		delete(mt.suppressed, v)
 		if mt.opts.Withdraw != nil {
 			mt.opts.Withdraw(rule)
 		}

@@ -25,6 +25,7 @@ import (
 	"booterscope/internal/flowstore"
 	"booterscope/internal/pipe"
 	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 // ErrDraining is returned for records arriving after Drain began; the
@@ -63,6 +64,17 @@ type Options struct {
 	// Registry receives the service_* metrics (nil selects a private
 	// registry). The detection-latency histogram lives here too.
 	Registry *telemetry.Registry
+	// Events, when set, is the flight recorder the daemon (and its
+	// monitor shards) emits lifecycle events into; nil falls back to
+	// the process-wide recorder (eventlog.Active), which may be nil —
+	// recording disabled.
+	Events *eventlog.Log
+	// IncidentDir, when set, enables incident dumps: on an SLO
+	// burn-rate breach, a shed-ladder escalation, a checkpoint
+	// failure, or drain, the flight recorder's ring is written there
+	// atomically (CRC-framed, rename-committed — the checkpoint
+	// pattern) for post-hoc timeline reconstruction.
+	IncidentDir string
 }
 
 // RestoreReport describes what New found in the checkpoint directory
@@ -117,6 +129,7 @@ type Service struct {
 	fan     *pipe.FanOut
 	mit     *Mitigator
 	shed    *shedder
+	burn    *burnEvaluator
 	tracer  *telemetry.Tracer
 	detect  *telemetry.Histogram
 
@@ -141,7 +154,8 @@ func New(opts Options) (*Service, error) {
 	}
 	s := &Service{opts: opts, reg: reg, m: newMetrics()}
 	s.monitor = classify.NewShardedMonitor(opts.Classify, pipe.Parallelism(opts.Parallelism))
-	s.mit = newMitigator(opts.Mitigation, s.m)
+	s.monitor.SetEvents(opts.Events)
+	s.mit = newMitigator(opts.Mitigation, s.m, s.eventsLog)
 	s.monitor.OnAlert = func(a classify.Alert) {
 		s.mit.OnAlert(a)
 		if opts.OnAlert != nil {
@@ -149,6 +163,7 @@ func New(opts Options) (*Service, error) {
 		}
 	}
 	s.shed = newShedder(opts.SLO, s.m)
+	s.burn = newBurnEvaluator(opts.SLO)
 	if opts.CheckpointDir != "" {
 		cp, err := LoadCheckpoint(opts.CheckpointDir)
 		switch {
@@ -182,6 +197,27 @@ func New(opts Options) (*Service, error) {
 		"duration of pipeline stage service_detect")
 	s.RegisterTelemetry(reg)
 	return s, nil
+}
+
+// eventsLog resolves the flight recorder the daemon emits into: the
+// configured one, else the process-wide recorder (possibly nil —
+// Emit and DumpTo are nil-safe).
+func (s *Service) eventsLog() *eventlog.Log {
+	if s.opts.Events != nil {
+		return s.opts.Events
+	}
+	return eventlog.Active()
+}
+
+// dumpIncident writes the flight recorder's ring into the incident
+// directory (no-op without one). Dump failures are counted by the
+// recorder (eventlog_dump_failures_total) and never interrupt the
+// trigger path — an incident dump must not make the incident worse.
+func (s *Service) dumpIncident(reason string) {
+	if s.opts.IncidentDir == "" {
+		return
+	}
+	_, _, _ = s.eventsLog().DumpTo(s.opts.IncidentDir, reason, nil)
 }
 
 // Restore reports what New found in the checkpoint directory.
@@ -251,6 +287,11 @@ func (s *Service) ingest(recs []flow.Record) error {
 		}
 	}
 	s.m.records.Add(uint64(len(kept)))
+	// Traffic still arriving for victims under an announced rule is
+	// the attack volume a deployed FlowSpec filter would have dropped
+	// upstream — record it as observed suppression for the paper-style
+	// suppression ratio. No-op (one atomic load) with no active rules.
+	s.mit.observeSuppressed(kept)
 	b := pipe.Batch{Recs: kept}
 	return s.fan.Process(&b)
 }
@@ -305,10 +346,15 @@ func (s *Service) checkpointLocked() (int64, error) {
 	})
 	if err != nil {
 		s.m.checkpointFailures.Inc()
+		s.eventsLog().Emit("service", "service_checkpoint_failed", 0,
+			eventlog.A("error", err.Error()))
+		s.dumpIncident("checkpoint_failure")
 		return 0, err
 	}
 	s.m.checkpoints.Inc()
 	s.m.checkpointBytes.Set(float64(size))
+	s.eventsLog().Emit("service", "service_checkpoint_saved", 0,
+		eventlog.AInt("bytes", size))
 	return size, nil
 }
 
@@ -384,20 +430,50 @@ func (s *Service) ReplayFromStore() (uint64, error) {
 }
 
 // Evaluate samples the detection-latency SLO and the ingest queue and
-// feeds the shed ladder. Call it periodically (Serve does).
+// feeds the shed ladder. Call it periodically (Serve does). The SLO
+// verdict is a multi-window burn-rate evaluation (see burn.go), not a
+// raw p99 comparison: both the fast and slow windows must burn the
+// error budget faster than BurnThreshold. Breach edges and ladder
+// escalations are recorded as events and trigger incident dumps.
 func (s *Service) Evaluate() ShedLevel {
-	p99 := s.detect.Snapshot().Quantile(0.99)
+	snap := s.detect.Snapshot()
+	p99 := snap.Quantile(0.99)
 	if math.IsNaN(p99) {
 		p99 = 0
 	}
 	s.m.sloP99.Set(p99)
+	target := s.shed.opts.TargetP99.Seconds()
+	fast, slow, breach, edge := s.burn.observe(snap.Count, badCount(snap, target))
+	s.m.burnFast.Set(fast)
+	s.m.burnSlow.Set(slow)
+	if edge {
+		if breach {
+			s.eventsLog().Emit("service", "service_slo_burn_breach", 0,
+				eventlog.AFloat("fast_burn", fast),
+				eventlog.AFloat("slow_burn", slow),
+				eventlog.AFloat("target_p99_seconds", target))
+			s.dumpIncident("slo_burn")
+		} else {
+			s.eventsLog().Emit("service", "service_slo_burn_recovered", 0,
+				eventlog.AFloat("fast_burn", fast),
+				eventlog.AFloat("slow_burn", slow))
+		}
+	}
 	var frac float64
 	if s.opts.QueueDepth != nil {
 		if d, c := s.opts.QueueDepth(); c > 0 {
 			frac = float64(d) / float64(c)
 		}
 	}
-	return s.shed.observe(time.Duration(p99*float64(time.Second)), frac)
+	before := s.shed.current()
+	lvl := s.shed.observe(breach, frac)
+	if lvl > before {
+		s.eventsLog().Emit("service", "service_shed_escalated", 0,
+			eventlog.A("level", lvl.String()),
+			eventlog.AFloat("queue_frac", frac))
+		s.dumpIncident("shed_escalation")
+	}
+	return lvl
 }
 
 // Drain is the SIGTERM path: refuse new records, publish a final
@@ -411,6 +487,7 @@ func (s *Service) Drain() (*DrainReport, error) {
 		return s.drainRep, s.drainErr
 	}
 	s.draining = true
+	s.eventsLog().Emit("service", "service_drain_begun", 0)
 	rep := &DrainReport{}
 	var firstErr error
 	if s.opts.CheckpointDir != "" {
@@ -432,6 +509,9 @@ func (s *Service) Drain() (*DrainReport, error) {
 	rep.Monitor = s.monitor.Stats()
 	rep.Service = s.Stats()
 	s.drainRep, s.drainErr = rep, firstErr
+	// Dump after the withdrawals so the incident file carries each
+	// attack's complete lifecycle, announcement through retraction.
+	s.dumpIncident("drain")
 	return rep, firstErr
 }
 

@@ -13,6 +13,7 @@ import (
 	"booterscope/internal/flow"
 	"booterscope/internal/flowstore"
 	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
 )
 
 func TestDrainRefusesRecordsAndIsIdempotent(t *testing.T) {
@@ -108,7 +109,9 @@ func TestShedLadderHysteresis(t *testing.T) {
 	sh := newShedder(SLOOptions{
 		TargetP99: 100 * time.Millisecond, StepUpAfter: 2, StepDownAfter: 2,
 	}, newMetrics())
-	slow, fast := 200*time.Millisecond, 10*time.Millisecond
+	// The burn evaluator now decides SLO breaches; the ladder takes a
+	// boolean verdict per evaluation.
+	slow, fast := true, false
 
 	if got := sh.observe(slow, 0); got != ShedNone {
 		t.Fatalf("one breach escalated to %v", got)
@@ -134,7 +137,7 @@ func TestShedLadderHysteresis(t *testing.T) {
 	}
 	// Queue pressure alone is a breach too.
 	sh2 := newShedder(SLOOptions{StepUpAfter: 1}, newMetrics())
-	if got := sh2.observe(0, 0.95); got != ShedSample {
+	if got := sh2.observe(false, 0.95); got != ShedSample {
 		t.Fatalf("queue breach = %v, want ShedSample", got)
 	}
 	// Recovery walks down one rung per StepDownAfter healthy streak.
@@ -299,7 +302,7 @@ func TestMitigationAnnounceAndWithdraw(t *testing.T) {
 
 func TestMitigationSkipsNonIPv4Victims(t *testing.T) {
 	m := newMetrics()
-	mit := newMitigator(MitigationOptions{Enabled: true, SustainAlerts: 1}, m)
+	mit := newMitigator(MitigationOptions{Enabled: true, SustainAlerts: 1}, m, func() *eventlog.Log { return nil })
 	mit.OnAlert(classify.Alert{Victim: netip.MustParseAddr("2001:db8::1")})
 	if got := len(mit.ActiveRules()); got != 0 {
 		t.Fatalf("%d rules announced for an IPv6 victim", got)

@@ -48,6 +48,18 @@ type SLOOptions struct {
 	// hand-off, including shard-queue backpressure) must stay under
 	// it. 0 selects 250ms.
 	TargetP99 time.Duration
+	// BudgetFraction is the error budget: the fraction of detections
+	// allowed over TargetP99. 0 selects 0.01 (a 99% objective).
+	BudgetFraction float64
+	// BurnThreshold is the burn-rate multiple both windows must exceed
+	// to declare a breach. 0 selects 14.4 (the classic fast-page
+	// threshold: at that rate a 30-day budget is gone in ~2 days).
+	BurnThreshold float64
+	// FastWindow and SlowWindow are the burn windows in evaluation
+	// samples (5m/1h at the default 1-minute evaluation cadence).
+	// 0 selects 5 and 60 respectively.
+	FastWindow int
+	SlowWindow int
 	// QueueHighFrac escalates when the collector ingest queue is
 	// fuller than this fraction at evaluation time. 0 selects 0.8.
 	QueueHighFrac float64
@@ -64,6 +76,21 @@ type SLOOptions struct {
 func (o SLOOptions) withDefaults() SLOOptions {
 	if o.TargetP99 <= 0 {
 		o.TargetP99 = 250 * time.Millisecond
+	}
+	if o.BudgetFraction <= 0 {
+		o.BudgetFraction = 0.01
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 14.4
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = 60
+	}
+	if o.SlowWindow < o.FastWindow {
+		o.SlowWindow = o.FastWindow
 	}
 	if o.QueueHighFrac <= 0 {
 		o.QueueHighFrac = 0.8
@@ -100,11 +127,12 @@ func (s *shedder) current() ShedLevel { return ShedLevel(s.level.Load()) }
 
 // observe folds one evaluation sample into the ladder state and
 // returns the (possibly changed) level. A breach of either budget —
-// the p99 latency SLO or the collector queue high-watermark — steps
+// the multi-window burn rate over the latency SLO (sloBreach, from
+// the burn evaluator) or the collector queue high-watermark — steps
 // the ladder up after StepUpAfter consecutive breaches; StepDownAfter
 // consecutive healthy evaluations step it back down.
-func (s *shedder) observe(p99 time.Duration, queueFrac float64) ShedLevel {
-	breach := p99 > s.opts.TargetP99 || queueFrac > s.opts.QueueHighFrac
+func (s *shedder) observe(sloBreach bool, queueFrac float64) ShedLevel {
+	breach := sloBreach || queueFrac > s.opts.QueueHighFrac
 	lvl := s.current()
 	if breach {
 		s.m.sloBreaches.Inc()

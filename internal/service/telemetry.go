@@ -25,8 +25,13 @@ type metrics struct {
 
 	sloBreaches     *telemetry.Counter
 	sloP99          *telemetry.Gauge
+	burnFast        *telemetry.Gauge
+	burnSlow        *telemetry.Gauge
 	shedLevel       *telemetry.Gauge
 	shedTransitions *telemetry.CounterVec
+
+	suppressedRecords *telemetry.Counter
+	suppressedBytes   *telemetry.Counter
 
 	mitigationActive    *telemetry.Gauge
 	mitigationAnnounced *telemetry.Counter
@@ -50,6 +55,10 @@ func newMetrics() *metrics {
 		drains:              telemetry.NewCounter(),
 		sloBreaches:         telemetry.NewCounter(),
 		sloP99:              telemetry.NewGauge(),
+		burnFast:            telemetry.NewGauge(),
+		burnSlow:            telemetry.NewGauge(),
+		suppressedRecords:   telemetry.NewCounter(),
+		suppressedBytes:     telemetry.NewCounter(),
 		shedLevel:           telemetry.NewGauge(),
 		shedTransitions:     telemetry.NewCounterVec("level", "direction").SetMaxCardinality(16),
 		mitigationActive:    telemetry.NewGauge(),
@@ -79,6 +88,10 @@ func (s *Service) RegisterTelemetry(r *telemetry.Registry) {
 	r.MustRegister("service_drains_total", "graceful drains completed", m.drains)
 	r.MustRegister("service_slo_breaches_total", "overload evaluations that breached the latency or queue budget", m.sloBreaches)
 	r.MustRegister("service_slo_detect_p99_seconds", "p99 of the service_detect span at the last evaluation", m.sloP99)
+	r.MustRegister("service_slo_burn_rate_fast", "error-budget burn rate over the fast window at the last evaluation", m.burnFast)
+	r.MustRegister("service_slo_burn_rate_slow", "error-budget burn rate over the slow window at the last evaluation", m.burnSlow)
+	r.MustRegister("service_suppressed_records_total", "records matching an active FlowSpec rule (traffic a deployed filter would discard)", m.suppressedRecords)
+	r.MustRegister("service_suppressed_bytes_total", "scaled bytes matching an active FlowSpec rule", m.suppressedBytes)
 	r.MustRegister("service_shed_level", "active overload-degradation ladder rung (0 none, 1 sample, 2 archive)", m.shedLevel)
 	r.MustRegister("service_shed_transitions_total", "ladder transitions by target level and direction", m.shedTransitions)
 	r.MustRegister("service_mitigation_rules_active", "FlowSpec rules currently announced", m.mitigationActive)

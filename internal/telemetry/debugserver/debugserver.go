@@ -1,9 +1,11 @@
 // Package debugserver is the shared live-debug surface of every
 // booterscope binary: pass -debug.addr (e.g. 127.0.0.1:6060) and the
 // process serves its telemetry registry as Prometheus text on /metrics,
-// as JSON on /metrics.json, recent pipeline spans on /spans, and the
-// full net/http/pprof suite under /debug/pprof/. Without the flag
-// nothing is started, so the default remains zero overhead.
+// as JSON on /metrics.json, recent pipeline spans on /spans, the
+// flight recorder's event ring on /events, reconstructed attack
+// timelines on /attacks and /attacks/{id}, and the full
+// net/http/pprof suite under /debug/pprof/. Without the flag nothing
+// is started, so the default remains zero overhead.
 package debugserver
 
 import (
@@ -14,18 +16,29 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"booterscope/internal/telemetry"
+	"booterscope/internal/telemetry/eventlog"
 )
 
-// AddrFlag registers the conventional -debug.addr flag on the default
-// flag set and returns the destination string. Every cmd binary calls
-// this before flag.Parse.
+// spanRingFlag holds the -debug.spanring value; Start applies it to
+// the registry's tracer. Defaults to the tracer's built-in size so
+// binaries that never call AddrFlag are unaffected.
+var spanRingFlag = func() *int { n := telemetry.DefaultSpanRing; return &n }()
+
+// AddrFlag registers the conventional -debug.addr flag (plus the
+// -debug.spanring ring-size knob) on the default flag set and returns
+// the destination string. Every cmd binary calls this before
+// flag.Parse.
 func AddrFlag() *string {
+	spanRingFlag = flag.Int("debug.spanring", telemetry.DefaultSpanRing,
+		"finished pipeline spans retained for /spans")
 	return flag.String("debug.addr", "",
-		"serve /metrics, /metrics.json, /spans and /debug/pprof on this address (empty: disabled)")
+		"serve /metrics, /metrics.json, /spans, /events, /attacks and /debug/pprof on this address (empty: disabled)")
 }
 
 // Server is a running debug HTTP server.
@@ -39,15 +52,62 @@ type Server struct {
 // can drive it without a socket. draining, when non-nil, flips
 // /healthz to 503 "draining" — load balancers stop sending probes to
 // an instance that is shutting down before its sockets actually close.
+// The event endpoints read the process-wide flight recorder; use
+// HandlerWith to serve an explicit one.
 func Handler(reg *telemetry.Registry, draining *atomic.Bool) http.Handler {
+	return HandlerWith(reg, draining, nil)
+}
+
+// HandlerWith is Handler with an explicit flight recorder for the
+// /events and /attacks endpoints. A nil recorder falls back to
+// eventlog.Active() per request, so a recorder installed after the
+// server starts is still served.
+func HandlerWith(reg *telemetry.Registry, draining *atomic.Bool, events *eventlog.Log) http.Handler {
+	recorder := func() *eventlog.Log {
+		if events != nil {
+			return events
+		}
+		return eventlog.Active()
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.PrometheusHandler())
 	mux.Handle("/metrics.json", reg.JSONHandler())
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(reg.Tracer().Recent())
+		writeJSON(w, reg.Tracer().Recent())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		evs := recorder().Snapshot()
+		if evs == nil {
+			evs = []eventlog.Event{}
+		}
+		writeJSON(w, evs)
+	})
+	mux.HandleFunc("/attacks", func(w http.ResponseWriter, _ *http.Request) {
+		tls := eventlog.BuildTimelines(recorder().Snapshot())
+		if tls == nil {
+			tls = []eventlog.Timeline{}
+		}
+		writeJSON(w, tls)
+	})
+	mux.HandleFunc("/attacks/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/attacks/")
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "bad attack id", http.StatusBadRequest)
+			return
+		}
+		tl := eventlog.TimelineFor(recorder().Snapshot(), id)
+		if tl == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, tl)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if draining != nil && draining.Load() {
@@ -70,6 +130,9 @@ func Handler(reg *telemetry.Registry, draining *atomic.Bool) http.Handler {
 			"/metrics       Prometheus text format\n"+
 			"/metrics.json  snapshot as JSON\n"+
 			"/spans         recent pipeline spans\n"+
+			"/events        flight-recorder event ring\n"+
+			"/attacks       reconstructed attack timelines\n"+
+			"/attacks/{id}  one attack's lifecycle timeline\n"+
 			"/healthz       liveness (503 while draining)\n"+
 			"/debug/pprof/  Go profiling\n")
 	})
@@ -81,6 +144,17 @@ func Handler(reg *telemetry.Registry, draining *atomic.Bool) http.Handler {
 //
 //	dbg, err := debugserver.Start(*addr, telemetry.Default())
 func Start(addr string, reg *telemetry.Registry) (*Server, error) {
+	// The ring-size knob and occupancy gauges apply even when no
+	// server is started: span retention is a process property, and the
+	// gauges surface in any scrape of the registry. Registration is
+	// duplicate-tolerant so repeated Start calls (tests) are safe.
+	reg.Tracer().SetRingSize(*spanRingFlag)
+	_ = reg.Register("pipeline_span_ring_spans",
+		"finished spans retained in the tracer ring",
+		func() float64 { return float64(reg.Tracer().Len()) })
+	_ = reg.Register("pipeline_span_ring_capacity",
+		"tracer span ring capacity (-debug.spanring)",
+		func() float64 { return float64(reg.Tracer().Cap()) })
 	if addr == "" {
 		return nil, nil
 	}

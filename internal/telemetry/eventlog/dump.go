@@ -1,0 +1,347 @@
+package eventlog
+
+import (
+	"booterscope/internal/chaos"
+
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+)
+
+// Incident dump file layout (the checkpoint CRC-framing pattern
+// applied to the event ring):
+//
+//	magic (8 bytes "BSEVT001")
+//	frame*:
+//	  u32 frameLen   — length of payload
+//	  u32 crc        — IEEE CRC32 over payload
+//	  payload        — first byte is the frame type:
+//	    1 header  — version, trigger reason, event count, dump wall time
+//	    2 events  — a chunk of encoded events
+//	    255 trailer — end marker; a file without it is torn
+//
+// Writes go to incident-<reason>.tmp and are published by atomic
+// rename over incident-<reason>.bsevt, so the visible dump for a
+// given trigger is always a complete snapshot: a crash mid-write
+// (every write runs through a chaos.Failpoint hook in the
+// incident-chaos gate) leaves the previous dump untouched or — when
+// none existed — no file at all, never a torn one. Load verifies
+// every CRC and requires the trailer, so filesystem-level damage is
+// reported as ErrDumpCorrupt rather than half-loaded.
+
+var dumpMagic = [8]byte{'B', 'S', 'E', 'V', 'T', '0', '0', '1'}
+
+const (
+	dumpFrameHeader  = 1
+	dumpFrameEvents  = 2
+	dumpFrameTrailer = 255
+
+	dumpVersion = 1
+
+	// eventsPerFrame chunks the ring so large dumps are written (and
+	// fault-injected) in multiple operations.
+	eventsPerFrame = 128
+)
+
+// ErrDumpCorrupt marks an incident dump failing CRC or framing
+// validation.
+var ErrDumpCorrupt = errors.New("eventlog: corrupt incident dump")
+
+// Dump is a decoded incident dump.
+type Dump struct {
+	// Reason is the trigger that fired (slo_burn, shed_escalation,
+	// drain, checkpoint_failure).
+	Reason string
+	// WallNanos is when the dump was taken.
+	WallNanos int64
+	// Events are the ring's events at dump time, in sequence order.
+	Events []Event
+}
+
+// reasonRE bounds trigger reasons to the metric-name charset: the
+// reason is embedded in the dump filename.
+var reasonRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// DumpPath returns the incident dump location for a trigger reason
+// under dir. The name is fixed per reason — a re-fire of the same
+// trigger atomically replaces its previous dump — so a directory
+// holds at most one dump per trigger kind, newest wins.
+func DumpPath(dir, reason string) string {
+	return filepath.Join(dir, "incident-"+reason+".bsevt")
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte, off int) (string, int, bool) {
+	if len(b)-off < 2 {
+		return "", 0, false
+	}
+	n := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if len(b)-off < n {
+		return "", 0, false
+	}
+	return string(b[off : off+n]), off + n, true
+}
+
+func encodeEvent(dst []byte, ev *Event) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, ev.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ev.WallNanos))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ev.MonoNanos))
+	dst = binary.BigEndian.AppendUint64(dst, ev.AttackID)
+	dst = appendString(dst, ev.Component)
+	dst = appendString(dst, ev.Kind)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ev.Attrs)))
+	for _, a := range ev.Attrs {
+		dst = appendString(dst, a.Key)
+		dst = appendString(dst, a.Value)
+	}
+	return dst
+}
+
+func decodeEvent(b []byte, off int) (Event, int, error) {
+	var ev Event
+	if len(b)-off < 32 {
+		return ev, 0, fmt.Errorf("%w: truncated event", ErrDumpCorrupt)
+	}
+	ev.Seq = binary.BigEndian.Uint64(b[off:])
+	ev.WallNanos = int64(binary.BigEndian.Uint64(b[off+8:]))
+	ev.MonoNanos = int64(binary.BigEndian.Uint64(b[off+16:]))
+	ev.AttackID = binary.BigEndian.Uint64(b[off+24:])
+	off += 32
+	var ok bool
+	if ev.Component, off, ok = readString(b, off); !ok {
+		return ev, 0, fmt.Errorf("%w: truncated event component", ErrDumpCorrupt)
+	}
+	if ev.Kind, off, ok = readString(b, off); !ok {
+		return ev, 0, fmt.Errorf("%w: truncated event kind", ErrDumpCorrupt)
+	}
+	if len(b)-off < 2 {
+		return ev, 0, fmt.Errorf("%w: truncated event attrs", ErrDumpCorrupt)
+	}
+	nattrs := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	for i := 0; i < nattrs; i++ {
+		var a Attr
+		if a.Key, off, ok = readString(b, off); !ok {
+			return ev, 0, fmt.Errorf("%w: truncated attr key", ErrDumpCorrupt)
+		}
+		if a.Value, off, ok = readString(b, off); !ok {
+			return ev, 0, fmt.Errorf("%w: truncated attr value", ErrDumpCorrupt)
+		}
+		ev.Attrs = append(ev.Attrs, a)
+	}
+	return ev, off, nil
+}
+
+// EncodeDump serializes a dump into the framed on-disk form. The
+// encoding is deterministic: equal inputs produce identical bytes.
+func EncodeDump(reason string, wallNanos int64, events []Event) []byte {
+	out := append([]byte(nil), dumpMagic[:]...)
+	hdr := []byte{dumpFrameHeader}
+	hdr = binary.BigEndian.AppendUint16(hdr, dumpVersion)
+	hdr = appendString(hdr, reason)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(wallNanos))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(events)))
+	out = appendFrame(out, hdr)
+	for len(events) > 0 {
+		n := len(events)
+		if n > eventsPerFrame {
+			n = eventsPerFrame
+		}
+		chunk := []byte{dumpFrameEvents}
+		chunk = binary.BigEndian.AppendUint32(chunk, uint32(n))
+		for i := 0; i < n; i++ {
+			chunk = encodeEvent(chunk, &events[i])
+		}
+		out = appendFrame(out, chunk)
+		events = events[n:]
+	}
+	return appendFrame(out, []byte{dumpFrameTrailer})
+}
+
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// DecodeDump parses bytes produced by EncodeDump, verifying magic,
+// every frame CRC, and the trailer. Any damage yields ErrDumpCorrupt.
+func DecodeDump(b []byte) (*Dump, error) {
+	if len(b) < len(dumpMagic) || [8]byte(b[:8]) != dumpMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrDumpCorrupt)
+	}
+	d := &Dump{}
+	off := len(dumpMagic)
+	sawHeader, sawTrailer := false, false
+	declared := -1
+	for off < len(b) {
+		if sawTrailer {
+			return nil, fmt.Errorf("%w: data after trailer", ErrDumpCorrupt)
+		}
+		if len(b)-off < 8 {
+			return nil, fmt.Errorf("%w: torn frame header at offset %d", ErrDumpCorrupt, off)
+		}
+		frameLen := int(binary.BigEndian.Uint32(b[off:]))
+		crc := binary.BigEndian.Uint32(b[off+4:])
+		if frameLen < 1 || len(b)-off-8 < frameLen {
+			return nil, fmt.Errorf("%w: torn frame at offset %d", ErrDumpCorrupt, off)
+		}
+		payload := b[off+8 : off+8+frameLen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, fmt.Errorf("%w: CRC mismatch at offset %d", ErrDumpCorrupt, off)
+		}
+		switch payload[0] {
+		case dumpFrameHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("%w: duplicate header frame", ErrDumpCorrupt)
+			}
+			sawHeader = true
+			if len(payload) < 3 {
+				return nil, fmt.Errorf("%w: short header frame", ErrDumpCorrupt)
+			}
+			if v := binary.BigEndian.Uint16(payload[1:]); v != dumpVersion {
+				return nil, fmt.Errorf("%w: unsupported dump version %d", ErrDumpCorrupt, v)
+			}
+			reason, p, ok := readString(payload, 3)
+			if !ok || len(payload)-p != 12 {
+				return nil, fmt.Errorf("%w: malformed header frame", ErrDumpCorrupt)
+			}
+			d.Reason = reason
+			d.WallNanos = int64(binary.BigEndian.Uint64(payload[p:]))
+			declared = int(binary.BigEndian.Uint32(payload[p+8:]))
+		case dumpFrameEvents:
+			if len(payload) < 5 {
+				return nil, fmt.Errorf("%w: short events frame", ErrDumpCorrupt)
+			}
+			n := int(binary.BigEndian.Uint32(payload[1:]))
+			p := 5
+			for i := 0; i < n; i++ {
+				ev, next, err := decodeEvent(payload, p)
+				if err != nil {
+					return nil, err
+				}
+				d.Events = append(d.Events, ev)
+				p = next
+			}
+			if p != len(payload) {
+				return nil, fmt.Errorf("%w: %d trailing bytes in events frame", ErrDumpCorrupt, len(payload)-p)
+			}
+		case dumpFrameTrailer:
+			sawTrailer = true
+		default:
+			return nil, fmt.Errorf("%w: unknown frame type %d", ErrDumpCorrupt, payload[0])
+		}
+		off += 8 + frameLen
+	}
+	if !sawHeader || !sawTrailer {
+		return nil, fmt.Errorf("%w: missing %s frame", ErrDumpCorrupt, map[bool]string{true: "trailer", false: "header"}[sawHeader])
+	}
+	if declared != len(d.Events) {
+		return nil, fmt.Errorf("%w: header declares %d events, found %d", ErrDumpCorrupt, declared, len(d.Events))
+	}
+	return d, nil
+}
+
+// SaveDump atomically publishes events as the incident dump for
+// reason under dir: the framed bytes go to a temp file (every write,
+// the fsync, and the rename run through the fault hook, so the
+// incident-chaos gate can kill the writer at each offset), and only a
+// complete, synced temp file is renamed over the previous dump. On
+// any failure the previous dump is left intact and the temp file
+// removed. Returns the dump path and size.
+func SaveDump(dir, reason string, wallNanos int64, events []Event, fault *chaos.Failpoint) (string, int64, error) {
+	if !reasonRE.MatchString(reason) {
+		return "", 0, fmt.Errorf("eventlog: dump reason %q does not match %s", reason, reasonRE)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, fmt.Errorf("eventlog: incident dir: %w", err)
+	}
+	tmp := filepath.Join(dir, "incident-"+reason+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", 0, fmt.Errorf("eventlog: dump temp file: %w", err)
+	}
+	enc := EncodeDump(reason, wallNanos, events)
+	fail := func(err error) (string, int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	// Write frame by frame so each frame is a distinct fault-injection
+	// point — the granularity a real crash tears files at.
+	for off := 0; off < len(enc); {
+		end := len(enc)
+		if off == 0 {
+			end = len(dumpMagic)
+		} else if off+8 <= len(enc) {
+			end = off + 8 + int(binary.BigEndian.Uint32(enc[off:]))
+		}
+		if err := fault.Check("incident write"); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(enc[off:end]); err != nil {
+			return fail(fmt.Errorf("eventlog: writing dump: %w", err))
+		}
+		off = end
+	}
+	if err := fault.Check("incident fsync"); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("eventlog: syncing dump: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("eventlog: closing dump: %w", err))
+	}
+	if err := fault.Check("incident rename"); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	path := DumpPath(dir, reason)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("eventlog: publishing dump: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return path, int64(len(enc)), nil
+}
+
+// LoadDump reads and validates one incident dump file.
+func LoadDump(path string) (*Dump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: reading dump: %w", err)
+	}
+	return DecodeDump(b)
+}
+
+// DumpTo snapshots the ring and atomically publishes it as the
+// incident dump for reason under dir, recording the outcome in the
+// recorder's own telemetry. A nil receiver is a no-op.
+func (l *Log) DumpTo(dir, reason string, fault *chaos.Failpoint) (string, int64, error) {
+	if l == nil {
+		return "", 0, nil
+	}
+	path, n, err := SaveDump(dir, reason, time.Now().UnixNano(), l.Snapshot(), fault)
+	if err != nil {
+		l.m.dumpFailures.Inc()
+		return "", 0, err
+	}
+	l.m.dumps.Inc()
+	l.m.dumpBytes.Set(float64(n))
+	return path, n, nil
+}

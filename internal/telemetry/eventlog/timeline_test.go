@@ -1,0 +1,114 @@
+package eventlog
+
+import (
+	"testing"
+)
+
+func lifecycleEvents() []Event {
+	return []Event{
+		{Seq: 0, MonoNanos: 1_000_000_000, Component: "classify", Kind: "classify_attack_opened", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7"), AInt("minute_unix", 60)}},
+		{Seq: 1, MonoNanos: 2_000_000_000, Component: "classify", Kind: "classify_threshold_crossed", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7")}},
+		{Seq: 2, MonoNanos: 3_000_000_000, Component: "classify", Kind: "classify_alert_raised", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7"), AFloat("gbps", 2.5), AInt("sources", 40), AUint("bytes", 1000)}},
+		{Seq: 3, MonoNanos: 4_500_000_000, Component: "service", Kind: "service_flowspec_announced", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7")}},
+		{Seq: 4, MonoNanos: 5_000_000_000, Component: "service", Kind: "service_suppression_observed", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7"), AUint("records", 10), AUint("bytes", 500)}},
+		{Seq: 5, MonoNanos: 6_000_000_000, Component: "service", Kind: "service_suppression_observed", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7"), AUint("records", 30), AUint("bytes", 3000)}},
+		{Seq: 6, MonoNanos: 7_000_000_000, Component: "service", Kind: "service_flowspec_withdrawn", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7")}},
+		{Seq: 7, MonoNanos: 8_000_000_000, Component: "classify", Kind: "classify_attack_evicted", AttackID: 11,
+			Attrs: []Attr{A("victim", "203.0.113.7")}},
+		// A second attack that only opened, plus unlinked noise.
+		{Seq: 8, MonoNanos: 8_500_000_000, Component: "classify", Kind: "classify_attack_opened", AttackID: 22,
+			Attrs: []Attr{A("victim", "203.0.113.9")}},
+		{Seq: 9, MonoNanos: 9_000_000_000, Component: "flowstore", Kind: "flowstore_segment_sealed"},
+	}
+}
+
+func TestBuildTimelines(t *testing.T) {
+	// Shuffle input order to prove sorting by Seq.
+	evs := lifecycleEvents()
+	shuffled := []Event{evs[5], evs[0], evs[9], evs[7], evs[2], evs[8], evs[1], evs[6], evs[3], evs[4]}
+	tls := BuildTimelines(shuffled)
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2", len(tls))
+	}
+	tl := tls[0]
+	if tl.AttackID != 11 || tl.Victim != "203.0.113.7" {
+		t.Fatalf("first timeline = %d/%q", tl.AttackID, tl.Victim)
+	}
+	if len(tl.Events) != 8 {
+		t.Fatalf("attack 11 has %d events, want 8", len(tl.Events))
+	}
+	if tl.DetectionLatencySeconds != 2.0 {
+		t.Fatalf("detection latency = %v, want 2.0", tl.DetectionLatencySeconds)
+	}
+	if tl.TimeToMitigateSeconds != 1.5 {
+		t.Fatalf("time to mitigate = %v, want 1.5", tl.TimeToMitigateSeconds)
+	}
+	if tl.AlertGbps != 2.5 || tl.AlertSources != 40 || tl.AlertBytes != 1000 {
+		t.Fatalf("alert measurements = %v/%v/%v", tl.AlertGbps, tl.AlertSources, tl.AlertBytes)
+	}
+	if tl.SuppressedRecords != 30 || tl.SuppressedBytes != 3000 {
+		t.Fatalf("suppression totals = %d/%d (cumulative: latest event wins)", tl.SuppressedRecords, tl.SuppressedBytes)
+	}
+	if want := 3000.0 / 4000.0; tl.SuppressionRatio != want {
+		t.Fatalf("suppression ratio = %v, want %v", tl.SuppressionRatio, want)
+	}
+	if tl.WithdrawnMonoNanos != 7_000_000_000 || tl.EvictedMonoNanos != 8_000_000_000 {
+		t.Fatalf("withdraw/evict times = %d/%d", tl.WithdrawnMonoNanos, tl.EvictedMonoNanos)
+	}
+
+	tl2 := tls[1]
+	if tl2.AttackID != 22 || tl2.DetectionLatencySeconds != 0 || tl2.TimeToMitigateSeconds != 0 {
+		t.Fatalf("partial timeline = %+v", tl2)
+	}
+}
+
+func TestTimelineFor(t *testing.T) {
+	evs := lifecycleEvents()
+	if tl := TimelineFor(evs, 22); tl == nil || tl.AttackID != 22 {
+		t.Fatalf("TimelineFor(22) = %+v", tl)
+	}
+	if tl := TimelineFor(evs, 99); tl != nil {
+		t.Fatalf("TimelineFor(99) = %+v, want nil", tl)
+	}
+}
+
+// TestTimelineLiveDumpEquivalence pins the property the incident
+// reader depends on: building timelines from a live ring snapshot and
+// from a dump of that same ring yields identical results.
+func TestTimelineLiveDumpEquivalence(t *testing.T) {
+	l := New(256)
+	for _, ev := range lifecycleEvents() {
+		l.Emit(ev.Component, ev.Kind, ev.AttackID, ev.Attrs...)
+	}
+	dir := t.TempDir()
+	path, _, err := l.DumpTo(dir, "drain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := BuildTimelines(l.Snapshot())
+	dumped := BuildTimelines(d.Events)
+	if len(live) != len(dumped) {
+		t.Fatalf("live %d timelines, dump %d", len(live), len(dumped))
+	}
+	for i := range live {
+		a, b := live[i], dumped[i]
+		if a.AttackID != b.AttackID ||
+			a.DetectionLatencySeconds != b.DetectionLatencySeconds ||
+			a.TimeToMitigateSeconds != b.TimeToMitigateSeconds ||
+			a.SuppressionRatio != b.SuppressionRatio ||
+			len(a.Events) != len(b.Events) {
+			t.Fatalf("timeline %d diverges: live %+v dump %+v", i, a, b)
+		}
+	}
+}

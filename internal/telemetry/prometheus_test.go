@@ -123,6 +123,102 @@ func TestPrometheusOutputParses(t *testing.T) {
 	}
 }
 
+// TestPrometheusHelpAndTypeLines pins the comment-line contract for
+// the observability families PR 7 added (the burn-rate gauges and the
+// flight recorder's per-component counter vec): every family gets
+// exactly one HELP line carrying the registered help text and one TYPE
+// line, HELP before TYPE, both before the first sample.
+func TestPrometheusHelpAndTypeLines(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("service_slo_burn_rate_fast", "error-budget burn rate over the fast window").Set(1.5)
+	r.Gauge("service_slo_burn_rate_slow", "error-budget burn rate over the slow window").Set(0.5)
+	vec := r.CounterVec("eventlog_events_total", "events emitted by component", "component")
+	vec.With("classify").Add(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+
+	wantHelp := map[string]string{
+		"service_slo_burn_rate_fast": "error-budget burn rate over the fast window",
+		"service_slo_burn_rate_slow": "error-budget burn rate over the slow window",
+		"eventlog_events_total":      "events emitted by component",
+	}
+	wantType := map[string]string{
+		"service_slo_burn_rate_fast": "gauge",
+		"service_slo_burn_rate_slow": "gauge",
+		"eventlog_events_total":      "counter",
+	}
+	helpSeen, typeSeen, sampleSeen := map[string]int{}, map[string]int{}, map[string]bool{}
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			helpSeen[name]++
+			if want, ok := wantHelp[name]; ok && help != want {
+				t.Errorf("HELP for %s = %q, want %q", name, help, want)
+			}
+			if typeSeen[name] > 0 || sampleSeen[name] {
+				t.Errorf("HELP for %s appears after its TYPE or samples", name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			typeSeen[parts[2]]++
+			if want, ok := wantType[parts[2]]; ok && parts[3] != want {
+				t.Errorf("TYPE for %s = %q, want %q", parts[2], parts[3], want)
+			}
+			if sampleSeen[parts[2]] {
+				t.Errorf("TYPE for %s appears after its samples", parts[2])
+			}
+		default:
+			if m := promSampleRE.FindStringSubmatch(line); m != nil {
+				fam := strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_count")
+				sampleSeen[fam] = true
+			}
+		}
+	}
+	for name := range wantHelp {
+		if helpSeen[name] != 1 || typeSeen[name] != 1 {
+			t.Errorf("family %s: %d HELP, %d TYPE lines, want 1 each", name, helpSeen[name], typeSeen[name])
+		}
+	}
+}
+
+// TestPrometheusVecOverflowFoldsToOther pins the cardinality cap on
+// the flight recorder's per-component vec: label values past the cap
+// fold into the "_other" child instead of growing the scrape without
+// bound, and the folded counts are preserved.
+func TestPrometheusVecOverflowFoldsToOther(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("eventlog_events_total", "events emitted by component", "component")
+	vec.SetMaxCardinality(2)
+	vec.With("classify").Add(5)
+	vec.With("service").Add(3)
+	vec.With("ipfix").Add(2) // over the cap: folds
+	vec.With("bgp").Inc()    // also folds, into the same child
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`eventlog_events_total{component="classify"} 5`,
+		`eventlog_events_total{component="service"} 3`,
+		`eventlog_events_total{component="_other"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `component="ipfix"`) || strings.Contains(out, `component="bgp"`) {
+		t.Errorf("over-cap label values leaked into the scrape:\n%s", out)
+	}
+}
+
 // splitLabelPairs splits `a="x",b="y"` on commas that are outside
 // quoted values.
 func splitLabelPairs(s string) []string {

@@ -87,10 +87,46 @@ func (t *Tracer) Do(stage string, fn func() error) error {
 func (t *Tracer) Recent() []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.recentLocked()
+}
+
+func (t *Tracer) recentLocked() []SpanRecord {
 	out := make([]SpanRecord, 0, t.n)
 	start := (t.pos - t.n + len(t.ring)) % len(t.ring)
 	for i := 0; i < t.n; i++ {
 		out = append(out, t.ring[(start+i)%len(t.ring)])
 	}
 	return out
+}
+
+// SetRingSize resizes the span ring (the -debug.spanring knob),
+// keeping the newest spans that fit. Sizes below 1 are ignored.
+func (t *Tracer) SetRingSize(n int) {
+	if n < 1 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.recentLocked()
+	if len(kept) > n {
+		kept = kept[len(kept)-n:]
+	}
+	t.ring = make([]SpanRecord, n)
+	copy(t.ring, kept)
+	t.n = len(kept)
+	t.pos = t.n % n
+}
+
+// Len reports the retained span count (the ring's occupancy).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Cap reports the ring's capacity.
+func (t *Tracer) Cap() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
 }
