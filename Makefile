@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline bench demo demo-lossy
+.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation bench demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,10 @@ race:
 
 # check is the pre-merge gate: lint, the bsvet static-analysis suite,
 # the flow-archive crash-recovery scenario, the daemon
-# checkpoint-chaos scenario, the sharded-pipeline race scenario, plus
-# the full suite under the race detector.
-check: lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline
+# checkpoint-chaos scenario, the sharded-pipeline race scenario, the
+# multi-vantage federation gate, plus the full suite under the race
+# detector.
+check: lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
 
@@ -37,13 +38,24 @@ analyze:
 race-pipeline:
 	$(GO) test -race ./internal/pipe ./internal/classify -run 'TestFanOut|TestRun|TestSharded' -count=1
 
+# federation drives the multi-vantage query plane under the race
+# detector with shuffled test order: the federated scan must stay
+# byte-identical to the single-union-store scan, and the cross-vantage
+# correlation report must be reproducible across coordinators
+# (-count=1 defeats the test cache so the gate always runs the merge).
+federation:
+	$(GO) test -race -shuffle=on ./internal/federation -count=1
+	$(GO) test -race ./internal/core -run 'TestFederated' -count=1
+
 # bench compares the legacy serial replay against the batch pipeline
 # at parallelism=4 and writes the machine-readable artifacts consumed
 # by the PR gates: BENCH_4.json (records/s per path plus the speedup
-# ratio) and BENCH_7.json (flight-recorder on/off overhead, < 2%).
+# ratio), BENCH_7.json (flight-recorder on/off overhead, < 2%), and
+# BENCH_8.json (federated 3-store scan vs the single union store).
 bench:
 	BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test ./internal/core -run TestWriteBenchArtifact -count=1 -v
 	BENCH_EVENTLOG_OUT=$(CURDIR)/BENCH_7.json $(GO) test ./internal/core -run TestWriteEventlogBenchArtifact -count=1 -v
+	BENCH_FEDERATION_OUT=$(CURDIR)/BENCH_8.json $(GO) test ./internal/core -run TestWriteFederationBenchArtifact -count=1 -v
 
 # incident-chaos kills the flight recorder's dump writer at every
 # write/fsync/rename offset and reloads: each crash must leave either

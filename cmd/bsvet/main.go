@@ -50,6 +50,7 @@ var deterministicPackages = []string{
 	"booterscope/internal/core",
 	"booterscope/internal/domainobs",
 	"booterscope/internal/economy",
+	"booterscope/internal/federation",
 	"booterscope/internal/flow",
 	"booterscope/internal/flowstore",
 	"booterscope/internal/honeypot",
@@ -89,6 +90,7 @@ var telemetryConfig = analysis.TelemetryConfig{
 	// its gauges an operator cannot see backpressure, leaks, or slow
 	// stages).
 	RequiredPaths: []string{
+		"booterscope/internal/federation",
 		"booterscope/internal/flowstore",
 		"booterscope/internal/pipe",
 	},
@@ -96,6 +98,18 @@ var telemetryConfig = analysis.TelemetryConfig{
 	// bench harness scrape these names, so renaming or dropping one is
 	// a breaking change this analyzer makes loud.
 	RequiredMetrics: map[string][]string{
+		// The federated query plane: ddoswatch -federate scrapes the
+		// scan/correlation counters and /vantages reads the open-store
+		// gauge, so each name is part of the debug surface.
+		"booterscope/internal/federation": {
+			"federation_scans_total",
+			"federation_scan_records_total",
+			"federation_scan_errors_total",
+			"federation_open_vantages",
+			"federation_correlations_total",
+			"federation_correlated_attacks_total",
+			"federation_disagreements_total",
+		},
 		"booterscope/internal/pipe": {
 			"pipe_batches_in_flight",
 			"pipe_shard_queue_depth_max",

@@ -11,6 +11,13 @@
 // the collector daemon (-incident.dir) and reconstructs each attack's
 // lifecycle timeline — detection latency, time to mitigate,
 // suppression ratio — from the recorded events, offline.
+//
+// With -federate it opens a multi-vantage federation manifest
+// (vantages.json, written by flowgen -federate) and reports the
+// federated query plane's per-vantage accounting; -correlate
+// additionally joins attacks across vantages and prints each one's
+// seen-at/missing-at split — the paper's IXP-vs-ISP disagreement as a
+// query.
 package main
 
 import (
@@ -34,12 +41,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ddoswatch: ")
 	var (
-		seed     = flag.Uint64("seed", 1, "random seed")
-		scale    = flag.Float64("scale", 0.5, "traffic scale factor")
-		days     = flag.Int("days", 30, "days of traffic to analyze")
-		storeDir = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
-		par      = flag.Int("parallelism", 0, "pipeline shard count: 0 = NumCPU, 1 = serial (results identical)")
-		incident = flag.String("incident", "", "read a collector incident dump (.bsevt) and print attack timelines instead of running the landscape analysis")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		scale     = flag.Float64("scale", 0.5, "traffic scale factor")
+		days      = flag.Int("days", 30, "days of traffic to analyze")
+		storeDir  = flag.String("store.dir", "", "replay from a flowstore archive (flowgen -out) instead of generating")
+		par       = flag.Int("parallelism", 0, "pipeline shard count: 0 = NumCPU, 1 = serial (results identical)")
+		incident  = flag.String("incident", "", "read a collector incident dump (.bsevt) and print attack timelines instead of running the landscape analysis")
+		federate  = flag.String("federate", "", "open a federation manifest (vantages.json) and query the multi-vantage plane instead of running the landscape analysis")
+		correlate = flag.Bool("correlate", false, "with -federate: join attacks across vantages and report seen-at/missing-at disagreement")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -49,6 +58,15 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *federate != "" {
+		if err := runFederation(*federate, *correlate, *par, *debugAddr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *correlate {
+		log.Fatal("-correlate requires -federate")
 	}
 
 	reg := telemetry.Default()

@@ -8,6 +8,11 @@
 //     full study window, one sharded store per vantage point, that
 //     cmd/takedown and cmd/ddoswatch replay with -store.dir instead of
 //     regenerating the traffic.
+//
+// With -out -federate the archive mode instead writes one store per
+// federated collector (IXP, tier-1 ISP, tier-2 ISP — each observing
+// its own subset of one shared ground truth) plus a vantages.json
+// manifest, the input to ddoswatch -federate / -correlate.
 package main
 
 import (
@@ -41,6 +46,8 @@ func main() {
 		out     = flag.String("o", "flows.bin", "output file (packet mode)")
 		outDir  = flag.String("out", "", "write a flowstore archive to this directory instead of export packets")
 		shards  = flag.Int("store.shards", flowstore.DefaultShards, "archive shard count (-out mode)")
+		fedOut  = flag.Bool("federate", false, "with -out: write per-vantage federated archives plus vantages.json for ddoswatch -federate")
+		fedUni  = flag.Bool("federate.union", false, "with -federate: also write the union store the federated scan must match byte-for-byte")
 	)
 	debugAddr := debugserver.AddrFlag()
 	flag.Parse()
@@ -74,8 +81,15 @@ func main() {
 	}
 
 	if *outDir != "" {
-		writeArchive(*outDir, *seed, *scale, *days, *shards, *vantage, kind)
+		if *fedOut {
+			writeFederated(*outDir, *seed, *scale, *days, *shards, *fedUni)
+		} else {
+			writeArchive(*outDir, *seed, *scale, *days, *shards, *vantage, kind)
+		}
 		return
+	}
+	if *fedOut || *fedUni {
+		log.Fatal("-federate requires -out (federation is archive export)")
 	}
 
 	scenario := trafficgen.NewScenario(trafficgen.Config{
@@ -201,6 +215,37 @@ func writeArchive(dir string, seed uint64, scale float64, days, shards int, vant
 			core.KindSlug(k), records, len(segs), float64(bytes)/(1<<20))
 	}
 	fmt.Printf("replay with: takedown -store.dir %s\n", dir)
+}
+
+// writeFederated generates ONE study window and persists it as N
+// per-vantage flowstore archives plus the vantages.json manifest that
+// ddoswatch -federate opens — every collector sees its own subset of
+// the same ground truth (visibility + sampling), so cross-vantage
+// disagreement in the correlation report is seeded, not simulated.
+func writeFederated(dir string, seed uint64, scale float64, days, shards int, withUnion bool) {
+	study := core.NewTakedownStudy(core.Options{Seed: seed, Scale: scale, Days: days})
+	opts := flowstore.Options{Shards: shards}
+	m, err := study.WriteFederatedArchive(dir, opts, nil, withUnion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federated %d days (seed %d, scale %g) to %s\n", days, seed, scale, dir)
+	for _, v := range m.Vantages {
+		st, err := flowstore.Open(v.Dir, flowstore.Options{})
+		if err != nil {
+			log.Fatalf("verifying vantage %s: %v", v.Name, err)
+		}
+		var records, bytes uint64
+		segs := st.Segments()
+		for _, e := range segs {
+			records += e.Records
+			bytes += e.Bytes
+		}
+		st.Close()
+		fmt.Printf("  %-8s %-12s %9d records in %3d segments, %.1f MiB, skew<=%ds\n",
+			v.Name, v.Tier, records, len(segs), float64(bytes)/(1<<20), v.ClockSkewMaxSeconds)
+	}
+	fmt.Printf("query with: ddoswatch -federate %s/vantages.json -correlate\n", dir)
 }
 
 // clampCounters bounds NetFlow v5's 32-bit counters (v9/IPFIX carry 64

@@ -167,6 +167,25 @@ func TestTelemetryRequiredGolden(t *testing.T) {
 	runGolden(t, suite, "telemreq")
 }
 
+// TestTelemetryRequiredPartialGolden covers the partial-coverage case:
+// the package defines RegisterTelemetry and registers some of its
+// required metric set, but one name never reaches the registry as a
+// string literal. This is the shape the federation contract in
+// cmd/bsvet guards — a metric dropped in a refactor while the package
+// as a whole still "has telemetry".
+func TestTelemetryRequiredPartialGolden(t *testing.T) {
+	suite := NewSuite(NewTelemetry(TelemetryConfig{
+		RequiredPaths: []string{testdataPath("fedtelem")},
+		RequiredMetrics: map[string][]string{
+			testdataPath("fedtelem"): {
+				"fedtelem_scans_total",
+				"fedtelem_disagreements_total",
+			},
+		},
+	}))
+	runGolden(t, suite, "fedtelem")
+}
+
 func TestEventlogGolden(t *testing.T) {
 	suite := NewSuite(NewTelemetry(TelemetryConfig{}))
 	runGolden(t, suite, "evlog")

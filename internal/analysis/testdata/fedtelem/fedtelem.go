@@ -1,0 +1,21 @@
+// Package fedtelem models the federation package's observability
+// contract: RegisterTelemetry exists and wires part of the required
+// metric set, but one required name is missing — the partial-coverage
+// case telemreq (which defines nothing at all) cannot exercise.
+package fedtelem // want "must register metric \"fedtelem_disagreements_total\""
+
+import "booterscope/internal/telemetry"
+
+var (
+	scans         = telemetry.NewCounter()
+	disagreements = telemetry.NewCounter()
+)
+
+// RegisterTelemetry registers the scan counter but forgets the
+// disagreement counter: the metric exists as a variable, yet its
+// scrape name never reaches the registry, so the debug surface would
+// silently lose it.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("fedtelem_scans_total", "federated scans served", scans)
+	_ = disagreements
+}

@@ -34,9 +34,10 @@ func AttackID(victim [16]byte, firstMinuteUnix int64) uint64 {
 }
 
 // attackState tracks one victim's open attack for lifecycle tracing.
-// It is bookkeeping for the flight recorder only: alert decisions are
-// made from the minute bins and re-alert markers exactly as before,
-// so the attack map changes no classification result.
+// It is bookkeeping for the flight recorder and (with TrackAttackLog)
+// the attack log only: alert decisions are made from the minute bins
+// and re-alert markers exactly as before, so the attack map changes no
+// classification result.
 type attackState struct {
 	id uint64
 	// openedUnix is the unix minute of the first suspicious bin.
@@ -45,6 +46,55 @@ type attackState struct {
 	// retention horizon every bin of the attack is gone and the attack
 	// is evicted.
 	lastUnix int64
+	// Summary fields, maintained only under TrackAttackLog. They are
+	// intentionally not checkpointed (see snapshot.go): a restored
+	// daemon re-derives lifecycle state from replay, and the attack log
+	// is an offline-correlation feature, not daemon state.
+	peakBps    float64
+	maxSources int
+	crossed    bool
+	alerts     int
+}
+
+// AttackSummary condenses one attack's observed lifecycle at a single
+// vantage: its time interval in minute bins, its peak minute rate, and
+// whether it ever crossed the conservative alert thresholds there. The
+// federation layer joins summaries from different vantage archives by
+// (victim, time-overlap) to surface cross-vantage disagreement —
+// "seen at the IXP, missing at the tier-1 ISP".
+type AttackSummary struct {
+	// ID is the stable lifecycle identifier (AttackID of victim and
+	// first minute). Vantages that first see the attack in different
+	// minutes derive different IDs; joins go by victim and interval.
+	ID     uint64
+	Victim netip.Addr
+	// FirstMinuteUnix and LastMinuteUnix bound the suspicious bins
+	// observed (inclusive, unix seconds of the minute).
+	FirstMinuteUnix int64
+	LastMinuteUnix  int64
+	// PeakGbps is the highest single-minute rate observed.
+	PeakGbps float64
+	// MaxSources is the largest per-minute distinct-source count.
+	MaxSources int
+	// Crossed reports whether any minute passed the conservative
+	// thresholds (rate AND sources) — the "seen here" criterion.
+	Crossed bool
+	// Alerts counts alerts raised for this attack.
+	Alerts int
+}
+
+// summarize freezes one attack's state into its log entry.
+func summarize(victim netip.Addr, st *attackState) AttackSummary {
+	return AttackSummary{
+		ID:              st.id,
+		Victim:          victim,
+		FirstMinuteUnix: st.openedUnix,
+		LastMinuteUnix:  st.lastUnix,
+		PeakGbps:        st.peakBps / 1e9,
+		MaxSources:      st.maxSources,
+		Crossed:         st.crossed,
+		Alerts:          st.alerts,
+	}
 }
 
 // events resolves the recorder this monitor emits lifecycle events
@@ -96,11 +146,48 @@ func (m *Monitor) evictAttacks(horizonUnix int64) {
 	for _, v := range victims {
 		st := m.attacks[v]
 		delete(m.attacks, v)
+		if m.TrackAttackLog {
+			m.attackLog = append(m.attackLog, summarize(v, st))
+		}
 		m.events().Emit("classify", "classify_attack_evicted", st.id,
 			eventlog.A("victim", v.String()),
 			eventlog.AInt("opened_minute_unix", st.openedUnix),
 			eventlog.AInt("last_minute_unix", st.lastUnix))
 	}
+}
+
+// AttackLog returns a summary of every attack the monitor observed —
+// evicted attacks plus those still open — sorted by (first minute,
+// victim). Empty unless TrackAttackLog was set before the first Add.
+// Victim-hash routing gives each victim's attacks to exactly one
+// shard, so a sharded run's per-shard logs concatenate and re-sort
+// into the identical list a serial monitor produces
+// (ShardedMonitor.AttackLog does exactly that).
+func (m *Monitor) AttackLog() []AttackSummary {
+	if !m.TrackAttackLog {
+		return nil
+	}
+	out := append([]AttackSummary(nil), m.attackLog...)
+	for v, st := range m.attacks {
+		out = append(out, summarize(v, st))
+	}
+	sortAttackSummaries(out)
+	return out
+}
+
+// sortAttackSummaries orders summaries by (first minute, victim) — a
+// total order: one victim cannot have two attacks opening in the same
+// minute.
+func sortAttackSummaries(s []AttackSummary) {
+	// Stable: one victim can log several summaries with the same first
+	// minute (evicted then re-opened by late records); their log order
+	// must survive the sort.
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].FirstMinuteUnix != s[j].FirstMinuteUnix {
+			return s[i].FirstMinuteUnix < s[j].FirstMinuteUnix
+		}
+		return s[i].Victim.Compare(s[j].Victim) < 0
+	})
 }
 
 // sortAddrs orders victims bytewise so eviction events (and snapshot

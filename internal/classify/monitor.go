@@ -124,12 +124,20 @@ type Monitor struct {
 	// back to the process-wide recorder (eventlog.Active), which may
 	// itself be nil — recording disabled. Set before the first Add.
 	Events *eventlog.Log
+	// TrackAttackLog, when set before the first Add, retains an
+	// AttackSummary for every attack (peak rate, interval, threshold
+	// verdict) readable via AttackLog after the stream ends. Off by
+	// default: a long-running daemon must not accumulate unbounded
+	// per-attack history; the federation correlator turns it on for
+	// bounded offline scans.
+	TrackAttackLog bool
 
-	minutes map[minuteKey]*monAgg
-	alerted map[netip.Addr]time.Time
-	attacks map[netip.Addr]*attackState
-	latest  time.Time
-	m       *monitorMetrics
+	minutes   map[minuteKey]*monAgg
+	alerted   map[netip.Addr]time.Time
+	attacks   map[netip.Addr]*attackState
+	attackLog []AttackSummary
+	latest    time.Time
+	m         *monitorMetrics
 }
 
 // monitorMetrics are the monitor's accounting counters as telemetry
@@ -302,9 +310,18 @@ func (m *Monitor) AddAt(r *flow.Record, watermarkUnix int64) *Alert {
 	}
 
 	rate := float64(agg.bytes) * 8 / 60
+	if m.TrackAttackLog {
+		if rate > st.peakBps {
+			st.peakBps = rate
+		}
+		if n := agg.sources.Len(); n > st.maxSources {
+			st.maxSources = n
+		}
+	}
 	if rate <= m.cfg.MinRateBps || agg.sources.Len() <= m.cfg.MinSources {
 		return nil
 	}
+	st.crossed = true
 	if !agg.crossed {
 		agg.crossed = true
 		m.events().Emit("classify", "classify_threshold_crossed", st.id,
@@ -317,6 +334,7 @@ func (m *Monitor) AddAt(r *flow.Record, watermarkUnix int64) *Alert {
 		return nil
 	}
 	m.alerted[r.Dst] = minute
+	st.alerts++
 	m.m.alerts.Inc()
 	m.events().Emit("classify", "classify_alert_raised", st.id,
 		eventlog.A("victim", r.Dst.String()),

@@ -61,6 +61,29 @@ func (s *ShardedMonitor) SetEvents(l *eventlog.Log) {
 	}
 }
 
+// SetTrackAttackLog enables (or disables) per-attack summary tracking
+// on every shard monitor. Call before the pipeline starts; read the
+// merged result with AttackLog after it finishes.
+func (s *ShardedMonitor) SetTrackAttackLog(v bool) {
+	for _, sh := range s.shards {
+		sh.mon.TrackAttackLog = v
+	}
+}
+
+// AttackLog merges the shard monitors' attack logs into the identical
+// list a serial monitor produces: victim-hash routing pins each
+// victim's attacks to one shard, so concatenating the per-shard logs
+// and re-sorting by (first minute, victim) loses nothing and
+// duplicates nothing. Call only after the pipeline has finished.
+func (s *ShardedMonitor) AttackLog() []AttackSummary {
+	var all []AttackSummary
+	for _, sh := range s.shards {
+		all = append(all, sh.mon.AttackLog()...)
+	}
+	sortAttackSummaries(all)
+	return all
+}
+
 // Monitors exposes the per-shard monitors for configuration
 // (Retention, ReAlertAfter, capacity bounds) before the run starts.
 func (s *ShardedMonitor) Monitors() []*Monitor {

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"booterscope/internal/federation"
+	"booterscope/internal/flowstore"
+	"booterscope/internal/trafficgen"
+)
+
+// FederatedVantage couples one vantage's observation model with its
+// manifest metadata (tier label, clock-skew bound).
+type FederatedVantage struct {
+	View trafficgen.FederatedView
+	// ClockSkewMaxSeconds is recorded in the manifest; the correlator
+	// widens its time-overlap join by it.
+	ClockSkewMaxSeconds int64
+}
+
+// DefaultFederation models the paper's three collection platforms over
+// one shared ground truth. The IXP routes nearly everything but
+// packet-samples hard; the tier-1 ISP samples harder and — the
+// paper's Section 4 caveat — sees only the destinations its customer
+// cone routes; the tier-2 ISP is a small unsampled window. The
+// visibility asymmetry is what makes "seen at the IXP, missing at the
+// tier-1" a reproducible observable rather than an anecdote.
+func DefaultFederation() []FederatedVantage {
+	return []FederatedVantage{
+		{View: trafficgen.FederatedView{Name: "ixp", Tier: "ixp", Visibility: 0.98, SamplingRate: 100}, ClockSkewMaxSeconds: 30},
+		{View: trafficgen.FederatedView{Name: "tier1", Tier: "tier-1 isp", Visibility: 0.55, SamplingRate: 1000}, ClockSkewMaxSeconds: 60},
+		{View: trafficgen.FederatedView{Name: "tier2", Tier: "tier-2 isp", Visibility: 0.30, SamplingRate: 1}, ClockSkewMaxSeconds: 120},
+	}
+}
+
+// WriteFederatedArchive generates the study's federated traffic — one
+// shared ground truth per day, observed through each vantage's
+// visibility and sampling model — and writes one flowstore per vantage
+// under dir/<name>/ plus a dir/vantages.json manifest for the
+// federation coordinator. With withUnion it also writes dir/union/, a
+// single store holding every vantage's observed records, appended per
+// day in vantage-name order: that ordering makes a scan of the union
+// byte-identical to the federated merged scan (equal-time ties land in
+// the same shard, where ingest order equals the merge's vantage-name
+// tie-break), which TestFederatedMatchesMerged pins.
+func (t *TakedownStudy) WriteFederatedArchive(dir string, opts flowstore.Options, vants []FederatedVantage, withUnion bool) (*federation.Manifest, error) {
+	if len(vants) == 0 {
+		vants = DefaultFederation()
+	}
+	vants = append([]FederatedVantage(nil), vants...)
+	sort.Slice(vants, func(i, j int) bool { return vants[i].View.Name < vants[j].View.Name })
+	views := make([]trafficgen.FederatedView, len(vants))
+	for i, v := range vants {
+		views[i] = v.View
+	}
+
+	cfg := t.Scenario.Config()
+	meta := func(name string) map[string]string {
+		return map[string]string{
+			"study":   "federation",
+			"vantage": name,
+			"seed":    strconv.FormatUint(cfg.Seed, 10),
+			"scale":   strconv.FormatFloat(cfg.Scale, 'g', -1, 64),
+			"days":    strconv.Itoa(cfg.Days),
+			"start":   cfg.Start.UTC().Format(time.RFC3339),
+		}
+	}
+	stores := make([]*flowstore.Store, len(vants))
+	closeAll := func() {
+		for _, st := range stores {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}
+	m := &federation.Manifest{}
+	for i, v := range vants {
+		o := opts
+		o.Meta = meta(v.View.Name)
+		st, err := flowstore.Open(filepath.Join(dir, v.View.Name), o)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("core: opening federated store %q: %w", v.View.Name, err)
+		}
+		stores[i] = st
+		m.Vantages = append(m.Vantages, federation.Vantage{
+			Name:                v.View.Name,
+			Tier:                v.View.Tier,
+			Dir:                 v.View.Name, // relative: the manifest travels with the archive
+			ClockSkewMaxSeconds: v.ClockSkewMaxSeconds,
+		})
+	}
+	var union *flowstore.Store
+	if withUnion {
+		o := opts
+		o.Meta = meta("union")
+		st, err := flowstore.Open(filepath.Join(dir, "union"), o)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("core: opening union store: %w", err)
+		}
+		union = st
+	}
+	fail := func(err error) (*federation.Manifest, error) {
+		closeAll()
+		if union != nil {
+			union.Close()
+		}
+		return nil, err
+	}
+
+	for day := 0; day < cfg.Days; day++ {
+		_, perView := t.Scenario.FederatedDay(day, views)
+		for i := range vants {
+			if err := stores[i].Append(perView[i]); err != nil {
+				return fail(fmt.Errorf("core: archiving %q day %d: %w", vants[i].View.Name, day, err))
+			}
+			if union != nil {
+				if err := union.Append(perView[i]); err != nil {
+					return fail(fmt.Errorf("core: archiving union day %d: %w", day, err))
+				}
+			}
+		}
+	}
+	for i := range stores {
+		if err := stores[i].Close(); err != nil {
+			stores[i] = nil
+			return fail(fmt.Errorf("core: sealing federated store %q: %w", vants[i].View.Name, err))
+		}
+		stores[i] = nil
+	}
+	if union != nil {
+		if err := union.Close(); err != nil {
+			union = nil
+			return fail(fmt.Errorf("core: sealing union store: %w", err))
+		}
+		union = nil
+	}
+	if err := m.Save(filepath.Join(dir, "vantages.json")); err != nil {
+		return nil, err
+	}
+	// Return the manifest with dirs resolved, ready for federation.Open.
+	return federation.LoadManifest(filepath.Join(dir, "vantages.json"))
+}

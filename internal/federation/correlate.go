@@ -1,0 +1,375 @@
+package federation
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"booterscope/internal/classify"
+	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
+	"booterscope/internal/pipe"
+	"booterscope/internal/telemetry/eventlog"
+)
+
+// CorrelateOptions configures a cross-vantage correlation run.
+type CorrelateOptions struct {
+	// Query bounds the scan window and filters fed to every vantage's
+	// classifier (zero value = whole archives).
+	Query flowstore.Query
+	// Config is the classification thresholds applied at every vantage.
+	Config classify.Config
+	// Retention / ReAlertAfter tune the per-vantage monitors (0 keeps
+	// the monitor defaults).
+	Retention    time.Duration
+	ReAlertAfter time.Duration
+	// Events receives the serial post-join federation events; nil
+	// falls back to the process-wide recorder (which may itself be
+	// nil — recording off). The concurrent per-vantage classification
+	// runs deliberately do NOT emit into a shared recorder: their
+	// interleaving is nondeterministic, and the correlator's contract
+	// is a deterministic event stream.
+	Events *eventlog.Log
+}
+
+// VantageObservation is one vantage's view of a correlated attack.
+type VantageObservation struct {
+	Vantage string                 `json:"vantage"`
+	Tier    string                 `json:"tier"`
+	Summary classify.AttackSummary `json:"summary"`
+}
+
+// CorrelatedAttack is one attack joined across vantages by
+// (victim, time-overlap). SeenAt lists the vantages whose classifier
+// saw the victim cross the attack thresholds; MissingAt lists every
+// other federation vantage — the paper's central observable, where a
+// booter attack is plainly visible at the IXP yet absent from a
+// tier-1 ISP's sampled view. Both lists are in federation (name)
+// order.
+type CorrelatedAttack struct {
+	// ID is the join's stable identifier, dense from 1 in report
+	// order; the federation_attack_joined event carries it.
+	ID              uint64     `json:"id"`
+	Victim          netip.Addr `json:"victim"`
+	FirstMinuteUnix int64      `json:"first_minute_unix"`
+	LastMinuteUnix  int64      `json:"last_minute_unix"`
+	SeenAt          []string   `json:"seen_at"`
+	MissingAt       []string   `json:"missing_at"`
+	// PerVantageRate maps vantage name to the peak rate (Gbps, scaled
+	// for sampling) that vantage observed for this attack; vantages
+	// with no observation at all are absent from the map.
+	PerVantageRate map[string]float64 `json:"per_vantage_rate"`
+	// Observations holds each observing vantage's full summary, in
+	// federation order.
+	Observations []VantageObservation `json:"observations"`
+	// Disagreement marks the headline shape: crossed somewhere,
+	// missing somewhere else.
+	Disagreement bool `json:"disagreement"`
+}
+
+// VantageClassification is one vantage's classification pass summary.
+type VantageClassification struct {
+	Name string `json:"name"`
+	Tier string `json:"tier"`
+	// Attacks counts the vantage's logged attacks in the window;
+	// Crossed counts those that passed the alert thresholds.
+	Attacks int                 `json:"attacks"`
+	Crossed int                 `json:"crossed"`
+	Stats   flowstore.ScanStats `json:"stats"`
+}
+
+// CorrelationReport is the result of one Correlate run.
+type CorrelationReport struct {
+	Attacks    []CorrelatedAttack      `json:"attacks"`
+	PerVantage []VantageClassification `json:"per_vantage"`
+	// Disagreements counts attacks with a non-empty MissingAt.
+	Disagreements int `json:"disagreements"`
+}
+
+// vantageRun is one vantage's classification output, indexed like
+// c.vantages.
+type vantageRun struct {
+	log   []classify.AttackSummary
+	stats flowstore.ScanStats
+	err   error
+}
+
+// Correlate runs the sharded streaming classifier over every vantage
+// archive (bounded by Options.MaxParallel) and joins the resulting
+// attack logs by (victim, time-overlap). Two observations of one
+// victim join when their minute intervals — widened by one minute of
+// bin granularity plus each side's clock-skew bound — overlap.
+// Attacks where no vantage crossed the thresholds are dropped as
+// noise. The report is deterministic: same archives, same manifest,
+// same options — identical report at any parallelism.
+func (c *Coordinator) Correlate(opts CorrelateOptions) (*CorrelationReport, error) {
+	metricCorrelations.Inc()
+	runs := make([]vantageRun, len(c.vantages))
+	sem := make(chan struct{}, maxParallel(c.opts.MaxParallel, len(c.vantages)))
+	var wg sync.WaitGroup
+	for i := range c.vantages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[i] = c.classifyVantage(i, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := range runs {
+		if runs[i].err != nil {
+			return nil, runs[i].err
+		}
+		metricClassifiedVantages.Inc()
+	}
+
+	report := c.join(runs)
+	ev := opts.Events
+	if ev == nil {
+		ev = eventlog.Active()
+	}
+	for _, pv := range report.PerVantage {
+		ev.Emit("federation", "federation_vantage_classified", 0,
+			eventlog.A("vantage", pv.Name),
+			eventlog.A("tier", pv.Tier),
+			eventlog.AInt("attacks", int64(pv.Attacks)),
+			eventlog.AInt("crossed", int64(pv.Crossed)),
+			eventlog.AUint("records", pv.Stats.RecordsMatched))
+	}
+	for _, a := range report.Attacks {
+		attrs := []eventlog.Attr{
+			eventlog.A("victim", a.Victim.String()),
+			eventlog.A("seen_at", strings.Join(a.SeenAt, ",")),
+			eventlog.A("missing_at", strings.Join(a.MissingAt, ",")),
+			eventlog.AInt("first_minute_unix", a.FirstMinuteUnix),
+			eventlog.AInt("last_minute_unix", a.LastMinuteUnix),
+		}
+		for _, obs := range a.Observations {
+			attrs = append(attrs, eventlog.AFloat("gbps_"+obs.Vantage, obs.Summary.PeakGbps))
+		}
+		ev.Emit("federation", "federation_attack_joined", a.ID, attrs...)
+	}
+	metricCorrelatedAttacks.Add(uint64(len(report.Attacks)))
+	metricDisagreements.Add(uint64(report.Disagreements))
+	return report, nil
+}
+
+func maxParallel(n, vantages int) int {
+	if n <= 0 || n > vantages {
+		n = vantages
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// correlateBatch is the batch size the ordered scan stream is cut
+// into for the classification pipeline.
+const correlateBatch = 1024
+
+// classifyVantage runs one vantage's archive through a sharded
+// monitor with attack-log tracking. The monitors emit no lifecycle
+// events (vantage runs race each other; see CorrelateOptions.Events).
+func (c *Coordinator) classifyVantage(i int, opts CorrelateOptions) vantageRun {
+	sm := classify.NewShardedMonitor(opts.Config, c.opts.Parallelism)
+	for _, m := range sm.Monitors() {
+		if opts.Retention > 0 {
+			m.Retention = opts.Retention
+		}
+		if opts.ReAlertAfter > 0 {
+			m.ReAlertAfter = opts.ReAlertAfter
+		}
+	}
+	sm.SetTrackAttackLog(true)
+	// A private throwaway ring: vantage runs race each other, so their
+	// classify lifecycle events must not interleave into the shared
+	// recorder (SetEvents(nil) would fall back to it).
+	sm.SetEvents(eventlog.New(64))
+	st := c.vantages[i].store
+	var stats flowstore.ScanStats
+	// The monitor's watermark clock makes it order-sensitive, so feed
+	// it the deterministic time-ordered Scan stream — NOT ScanBatches,
+	// whose cross-shard batch interleaving is scheduler-dependent and
+	// would evict attack state differently run to run.
+	src := pipe.Source(func(emit func(*pipe.Batch) error) error {
+		b := pipe.NewBatch()
+		flush := func() error {
+			if len(b.Recs) == 0 {
+				return nil
+			}
+			err := emit(b)
+			b = pipe.NewBatch()
+			return err
+		}
+		s, err := st.Scan(opts.Query, func(r *flow.Record) error {
+			b.Recs = append(b.Recs, *r)
+			if len(b.Recs) >= correlateBatch {
+				return flush()
+			}
+			return nil
+		})
+		stats = s
+		if err != nil {
+			return err
+		}
+		return flush()
+	})
+	if err := pipe.Run(src, sm.FanOut()); err != nil {
+		return vantageRun{err: err}
+	}
+	return vantageRun{log: sm.AttackLog(), stats: stats}
+}
+
+// obsRef is one (vantage, summary) pair during the join sweep.
+type obsRef struct {
+	vantage int
+	sum     classify.AttackSummary
+}
+
+// join clusters the per-vantage attack logs by victim and widened
+// time overlap and builds the report.
+func (c *Coordinator) join(runs []vantageRun) *CorrelationReport {
+	report := &CorrelationReport{
+		PerVantage: make([]VantageClassification, len(c.vantages)),
+	}
+	byVictim := make(map[netip.Addr][]obsRef)
+	var victims []netip.Addr
+	for i := range runs {
+		pv := &report.PerVantage[i]
+		pv.Name = c.vantages[i].v.Name
+		pv.Tier = c.vantages[i].v.Tier
+		pv.Stats = runs[i].stats
+		for _, sum := range runs[i].log {
+			pv.Attacks++
+			if sum.Crossed {
+				pv.Crossed++
+			}
+			if _, ok := byVictim[sum.Victim]; !ok {
+				victims = append(victims, sum.Victim)
+			}
+			byVictim[sum.Victim] = append(byVictim[sum.Victim], obsRef{vantage: i, sum: sum})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].Less(victims[j]) })
+
+	for _, v := range victims {
+		obs := byVictim[v]
+		// Stable: a vantage can log several same-victim summaries with
+		// equal first minutes; their attack-log order must carry
+		// through, not the sort's pivot luck.
+		sort.SliceStable(obs, func(i, j int) bool {
+			if obs[i].sum.FirstMinuteUnix != obs[j].sum.FirstMinuteUnix {
+				return obs[i].sum.FirstMinuteUnix < obs[j].sum.FirstMinuteUnix
+			}
+			return obs[i].vantage < obs[j].vantage
+		})
+		// Interval sweep: cluster observations whose widened minute
+		// intervals overlap. An observation covering minutes
+		// [first, last] spans [first-skew, last+60+skew] seconds.
+		var cluster []obsRef
+		var clusterEnd int64
+		flush := func() {
+			if len(cluster) > 0 {
+				c.emitCluster(report, v, cluster)
+			}
+			cluster = nil
+		}
+		for _, o := range obs {
+			skew := c.vantages[o.vantage].v.ClockSkewMaxSeconds
+			start := o.sum.FirstMinuteUnix - skew
+			end := o.sum.LastMinuteUnix + 60 + skew
+			if len(cluster) > 0 && start > clusterEnd {
+				flush()
+			}
+			cluster = append(cluster, o)
+			if len(cluster) == 1 || end > clusterEnd {
+				clusterEnd = end
+			}
+		}
+		flush()
+	}
+
+	// The victim sweep appends in (victim, first minute) order;
+	// re-sort to (first minute, victim) — the timeline order the CLI
+	// prints — before assigning the dense join IDs.
+	sort.SliceStable(report.Attacks, func(i, j int) bool {
+		if report.Attacks[i].FirstMinuteUnix != report.Attacks[j].FirstMinuteUnix {
+			return report.Attacks[i].FirstMinuteUnix < report.Attacks[j].FirstMinuteUnix
+		}
+		return report.Attacks[i].Victim.Less(report.Attacks[j].Victim)
+	})
+	for i := range report.Attacks {
+		report.Attacks[i].ID = uint64(i + 1)
+		if report.Attacks[i].Disagreement {
+			report.Disagreements++
+		}
+	}
+	return report
+}
+
+// emitCluster turns one (victim, overlapping observations) cluster
+// into a CorrelatedAttack, dropping clusters no vantage saw cross the
+// thresholds.
+func (c *Coordinator) emitCluster(report *CorrelationReport, victim netip.Addr, cluster []obsRef) {
+	crossed := false
+	for _, o := range cluster {
+		if o.sum.Crossed {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		return
+	}
+	a := CorrelatedAttack{
+		Victim:          victim,
+		FirstMinuteUnix: cluster[0].sum.FirstMinuteUnix,
+		LastMinuteUnix:  cluster[0].sum.LastMinuteUnix,
+		PerVantageRate:  make(map[string]float64, len(c.vantages)),
+	}
+	seen := make([]bool, len(c.vantages))
+	for _, o := range cluster {
+		if o.sum.FirstMinuteUnix < a.FirstMinuteUnix {
+			a.FirstMinuteUnix = o.sum.FirstMinuteUnix
+		}
+		if o.sum.LastMinuteUnix > a.LastMinuteUnix {
+			a.LastMinuteUnix = o.sum.LastMinuteUnix
+		}
+		name := c.vantages[o.vantage].v.Name
+		if o.sum.Crossed {
+			seen[o.vantage] = true
+		}
+		if g := o.sum.PeakGbps; g > a.PerVantageRate[name] {
+			a.PerVantageRate[name] = g
+		}
+	}
+	// Observations in federation order; within a vantage, by first
+	// minute (the sweep's sort is stable under the re-sort below).
+	sort.SliceStable(cluster, func(i, j int) bool {
+		if cluster[i].vantage != cluster[j].vantage {
+			return cluster[i].vantage < cluster[j].vantage
+		}
+		return cluster[i].sum.FirstMinuteUnix < cluster[j].sum.FirstMinuteUnix
+	})
+	for _, o := range cluster {
+		a.Observations = append(a.Observations, VantageObservation{
+			Vantage: c.vantages[o.vantage].v.Name,
+			Tier:    c.vantages[o.vantage].v.Tier,
+			Summary: o.sum,
+		})
+	}
+	for i := range c.vantages {
+		switch {
+		case seen[i]:
+			a.SeenAt = append(a.SeenAt, c.vantages[i].v.Name)
+		default:
+			a.MissingAt = append(a.MissingAt, c.vantages[i].v.Name)
+		}
+	}
+	a.Disagreement = len(a.SeenAt) > 0 && len(a.MissingAt) > 0
+	report.Attacks = append(report.Attacks, a)
+}

@@ -1,0 +1,35 @@
+package federation
+
+import (
+	"booterscope/internal/telemetry"
+)
+
+// Package-level aggregates across every Coordinator in the process,
+// in the flowstore style: coordinators come and go per study and per
+// test, so registry metrics are process-wide sums while each scan's
+// FederatedStats stays the exact per-call ledger. Registration is
+// opt-in via RegisterTelemetry.
+var (
+	metricScans              = telemetry.NewCounter()
+	metricScanRecords        = telemetry.NewCounter()
+	metricScanErrors         = telemetry.NewCounter()
+	metricOpenVantages       = telemetry.NewGauge()
+	metricCorrelations       = telemetry.NewCounter()
+	metricCorrelatedAttacks  = telemetry.NewCounter()
+	metricDisagreements      = telemetry.NewCounter()
+	metricClassifiedVantages = telemetry.NewCounter()
+)
+
+// RegisterTelemetry attaches the package's federated query-plane
+// accounting to r under the federation_* names. The debug surface and
+// the bench harness scrape these by name.
+func RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister("federation_scans_total", "federated Scan calls across all coordinators", metricScans)
+	r.MustRegister("federation_scan_records_total", "records delivered by the merged federated stream", metricScanRecords)
+	r.MustRegister("federation_scan_errors_total", "federated scans that surfaced a vantage or callback error", metricScanErrors)
+	r.MustRegister("federation_open_vantages", "vantage stores currently held open by coordinators", metricOpenVantages)
+	r.MustRegister("federation_correlations_total", "cross-vantage Correlate runs", metricCorrelations)
+	r.MustRegister("federation_vantages_classified_total", "per-vantage classification passes run by Correlate", metricClassifiedVantages)
+	r.MustRegister("federation_correlated_attacks_total", "attacks joined across vantages by Correlate", metricCorrelatedAttacks)
+	r.MustRegister("federation_disagreements_total", "correlated attacks seen at one vantage but missing at another", metricDisagreements)
+}

@@ -116,6 +116,19 @@ type ScanStats struct {
 	RecordsMatched uint64
 }
 
+// Merge folds another scan's accounting into s — the one accumulation
+// path shared by the per-shard aggregation inside Scan/ScanBatches and
+// by cross-store callers (the federation coordinator sums per-vantage
+// stats with it).
+func (s *ScanStats) Merge(o ScanStats) {
+	s.SegmentsScanned += o.SegmentsScanned
+	s.SegmentsPruned += o.SegmentsPruned
+	s.BlocksScanned += o.BlocksScanned
+	s.BlocksPruned += o.BlocksPruned
+	s.RecordsScanned += o.RecordsScanned
+	s.RecordsMatched += o.RecordsMatched
+}
+
 // PruneFraction is the share of visited blocks the indexes skipped.
 func (s ScanStats) PruneFraction() float64 {
 	total := s.BlocksScanned + s.BlocksPruned
@@ -134,7 +147,10 @@ type shardBatch struct {
 	err   error
 }
 
-// shardCursor pulls batches from one shard's scan goroutine.
+// shardCursor pulls batches from one shard's scan goroutine. It
+// implements RecordStream: within a shard, partitions are disjoint in
+// start time and each partition's survivors are sorted stably, so the
+// stream is nondecreasing in Start with ties left in ingest order.
 type shardCursor struct {
 	shard int
 	ch    <-chan shardBatch
@@ -143,10 +159,10 @@ type shardCursor struct {
 	err   error
 }
 
-// next advances to the next record, pulling batches as needed. A
+// Next advances to the next record, pulling batches as needed. A
 // returned record pointer is valid only until the next call: exhausted
 // slabs go back to the pool.
-func (c *shardCursor) next() (*flow.Record, bool) {
+func (c *shardCursor) Next() (*flow.Record, bool) {
 	for c.cur == nil || c.pos >= len(c.cur.Recs) {
 		if c.cur != nil {
 			c.cur.Release()
@@ -167,6 +183,9 @@ func (c *shardCursor) next() (*flow.Record, bool) {
 	return r, true
 }
 
+// Err reports the error that ended the stream, if any.
+func (c *shardCursor) Err() error { return c.err }
+
 // drain releases the cursor's current slab and any batches still
 // queued on its channel — the cancellation path's cleanup, keeping
 // every pooled slab accounted for.
@@ -182,13 +201,30 @@ func (c *shardCursor) drain() {
 	}
 }
 
-// mergeHeap orders shard heads by (Start, shard id) — a deterministic
-// global time order.
+// RecordStream is a pull-based stream of records in nondecreasing
+// start-time order — the seam MergeStreams funnels. Next returns the
+// next record, or false when the stream is exhausted or failed; the
+// returned pointer is valid only until the following Next call. After
+// Next returns false, Err distinguishes clean exhaustion (nil) from
+// failure. A stream's internal order must be deterministic for the
+// merged order to be.
+type RecordStream interface {
+	Next() (*flow.Record, bool)
+	Err() error
+}
+
+// mergeHeap orders stream heads by (Start, stream ordinal): the
+// ordinal is the stream's index at merge construction, so equal
+// timestamps resolve to a fixed stream priority and, within one
+// stream, to that stream's own deterministic order. For a single-store
+// Scan the ordinal is the shard index; for a federated merge it is the
+// vantage's position in the (name-sorted) manifest.
 type mergeHeap []*mergeItem
 
 type mergeItem struct {
-	rec *flow.Record
-	cur *shardCursor
+	rec    *flow.Record
+	stream RecordStream
+	ord    int
 }
 
 func (h mergeHeap) Len() int { return len(h) }
@@ -196,86 +232,207 @@ func (h mergeHeap) Less(i, j int) bool {
 	if !h[i].rec.Start.Equal(h[j].rec.Start) {
 		return h[i].rec.Start.Before(h[j].rec.Start)
 	}
-	return h[i].cur.shard < h[j].cur.shard
+	return h[i].ord < h[j].ord
 }
 func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeItem)) }
 func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
-// Scan streams every sealed record matching q to fn in ascending start
-// time (ties broken by shard id, then ingest order — fully
-// deterministic). Per-shard scanners decode and filter blocks in
-// parallel; the sparse indexes prune non-matching segments and blocks
-// without decoding them. A non-nil error from fn aborts the scan and is
-// returned. The record pointer is valid only for the duration of the
-// call — slabs are pooled and recycled; copy the record to keep it.
-// Only sealed segments are visible: writers call Seal (or Close) to
-// publish.
-func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
-	start := time.Now() //bsvet:allow determinism scan latency telemetry measures host time, not simulated time
+// MergeStreams funnels k time-ordered record streams into one
+// deterministic stream: ascending Start, ties broken by stream index,
+// then by each stream's own record order. fn receives the index of the
+// stream each record came from; a non-nil error from fn aborts the
+// merge and is returned. A stream error aborts the merge as soon as it
+// is observed — the first failure surfaces, remaining streams are left
+// for the caller to cancel/clean up (flowstore cursors do both in
+// Close). On a clean merge every stream's Err is still checked so no
+// failure is swallowed.
+func MergeStreams(streams []RecordStream, fn func(i int, r *flow.Record) error) error {
+	h := make(mergeHeap, 0, len(streams))
+	for i, s := range streams {
+		r, ok := s.Next()
+		if !ok {
+			if err := s.Err(); err != nil {
+				return err
+			}
+			continue
+		}
+		h = append(h, &mergeItem{rec: r, stream: s, ord: i})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := h[0]
+		if err := fn(it.ord, it.rec); err != nil {
+			return err
+		}
+		if r, ok := it.stream.Next(); ok {
+			it.rec = r
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+			if err := it.stream.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range streams {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cursor is a pull-based ordered scan over one store: the same
+// parallel shard scanners and k-way merge Scan uses, exposed as a
+// RecordStream so callers can interleave several stores' scans (the
+// federation coordinator merges one Cursor per vantage archive).
+// Records arrive in ascending start time, ties broken by shard index
+// then ingest order. The pointer returned by Next is valid only until
+// the following call. Close cancels any remaining work, reclaims every
+// pooled slab, and returns the scan's accounting; it must always be
+// called, even after exhaustion.
+type Cursor struct {
+	cursors []*shardCursor
+	h       mergeHeap
+	inited  bool
+	done    chan struct{}
+	statsCh chan ScanStats
+	stats   ScanStats
+	begin   time.Time
+	err     error
+	closed  bool
+}
+
+// NewCursor starts an ordered scan of q and returns its cursor. The
+// shard scanners run concurrently from this call on; Close stops them.
+func (s *Store) NewCursor(q Query) *Cursor {
+	begin := time.Now() //bsvet:allow determinism scan latency telemetry measures host time, not simulated time
 	shards, dir, byShard, stats := s.planScan(q)
 
 	// Partition-ordered segment lists give each shard stream global
 	// time order: partitions are disjoint in start time, and records
 	// within a partition are sorted after decoding.
-	statsCh := make(chan ScanStats, shards)
-	done := make(chan struct{})
-	cursors := make([]*shardCursor, 0, shards)
+	c := &Cursor{
+		done:    make(chan struct{}),
+		statsCh: make(chan ScanStats, shards),
+		stats:   stats,
+		begin:   begin,
+	}
 	for shard := 0; shard < shards; shard++ {
 		segs := byShard[shard]
 		ch := make(chan shardBatch, 2)
-		cursors = append(cursors, &shardCursor{shard: shard, ch: ch})
-		go func(shard int) {
-			scanShard(dir, shard, segs, q, ch, statsCh, done, true)
+		c.cursors = append(c.cursors, &shardCursor{shard: shard, ch: ch})
+		go func(shard int, segs []SegmentEntry, ch chan shardBatch) {
+			scanShard(dir, shard, segs, q, ch, c.statsCh, c.done, true)
 			close(ch)
-		}(shard)
+		}(shard, segs, ch)
 	}
+	return c
+}
 
-	h := make(mergeHeap, 0, len(cursors))
-	for _, c := range cursors {
-		if r, ok := c.next(); ok {
-			h = append(h, &mergeItem{rec: r, cur: c})
+// Next returns the next record in merged order. It returns false on
+// exhaustion or on the first shard error — check Err (or Close's
+// returned error) to distinguish.
+func (c *Cursor) Next() (*flow.Record, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	if !c.inited {
+		c.inited = true
+		c.h = make(mergeHeap, 0, len(c.cursors))
+		for _, sc := range c.cursors {
+			r, ok := sc.Next()
+			if !ok {
+				if sc.err != nil {
+					c.err = sc.err
+					return nil, false
+				}
+				continue
+			}
+			c.h = append(c.h, &mergeItem{rec: r, stream: sc, ord: sc.shard})
+		}
+		heap.Init(&c.h)
+	} else if c.h.Len() > 0 {
+		it := c.h[0]
+		if r, ok := it.stream.Next(); ok {
+			it.rec = r
+			heap.Fix(&c.h, 0)
+		} else {
+			heap.Pop(&c.h)
+			if err := it.stream.Err(); err != nil {
+				c.err = err
+				return nil, false
+			}
 		}
 	}
-	heap.Init(&h)
+	if c.h.Len() == 0 {
+		return nil, false
+	}
+	return c.h[0].rec, true
+}
+
+// Err reports the first shard error the cursor observed (nil while
+// records are still flowing or after clean exhaustion).
+func (c *Cursor) Err() error { return c.err }
+
+// Close cancels the scan, reclaims every outstanding pooled slab, and
+// returns the accounting plus the first error (a shard failure
+// surfaces here even if the caller stopped reading early). Idempotent.
+func (c *Cursor) Close() (ScanStats, error) {
+	if c.closed {
+		return c.stats, c.err
+	}
+	c.closed = true
+	close(c.done)
+	for range c.cursors {
+		c.stats.Merge(<-c.statsCh)
+	}
+	for _, sc := range c.cursors {
+		sc.drain()
+	}
+	metricScanSeconds.ObserveDuration(time.Since(c.begin)) //bsvet:allow determinism scan latency telemetry measures host time, not simulated time
+	if c.err == nil {
+		for _, sc := range c.cursors {
+			if sc.err != nil {
+				c.err = sc.err
+				break
+			}
+		}
+	}
+	return c.stats, c.err
+}
+
+// Scan streams every sealed record matching q to fn in ascending start
+// time (ties broken by shard index, then ingest order — fully
+// deterministic). Per-shard scanners decode and filter blocks in
+// parallel; the sparse indexes prune non-matching segments and blocks
+// without decoding them. A non-nil error from fn aborts the scan and is
+// returned; a shard error cancels the remaining shards and surfaces.
+// The record pointer is valid only for the duration of the call —
+// slabs are pooled and recycled; copy the record to keep it. Only
+// sealed segments are visible: writers call Seal (or Close) to
+// publish.
+func (s *Store) Scan(q Query, fn func(*flow.Record) error) (ScanStats, error) {
+	c := s.NewCursor(q)
 	var fnErr error
-	for h.Len() > 0 {
-		it := h[0]
-		if err := fn(it.rec); err != nil {
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		if err := fn(r); err != nil {
 			// Cancel: stop the shard scanners instead of decoding the
 			// rest of the archive into a discarded drain.
 			fnErr = err
-			close(done)
 			break
 		}
-		if r, ok := it.cur.next(); ok {
-			it.rec = r
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
 	}
-	for i := 0; i < shards; i++ {
-		st := <-statsCh
-		stats.SegmentsScanned += st.SegmentsScanned
-		stats.BlocksScanned += st.BlocksScanned
-		stats.BlocksPruned += st.BlocksPruned
-		stats.RecordsScanned += st.RecordsScanned
-		stats.RecordsMatched += st.RecordsMatched
-	}
-	for _, c := range cursors {
-		c.drain()
-	}
-	metricScanSeconds.ObserveDuration(time.Since(start)) //bsvet:allow determinism scan latency telemetry measures host time, not simulated time
+	stats, err := c.Close()
 	if fnErr != nil {
 		return stats, fnErr
 	}
-	for _, c := range cursors {
-		if c.err != nil {
-			return stats, c.err
-		}
-	}
-	return stats, nil
+	return stats, err
 }
 
 // planScan snapshots the manifest under the lock, prunes whole
@@ -357,12 +514,7 @@ func (s *Store) ScanBatches(q Query, emit func(*pipe.Batch) error) (ScanStats, e
 		}
 	}
 	for i := 0; i < shards; i++ {
-		st := <-statsCh
-		stats.SegmentsScanned += st.SegmentsScanned
-		stats.BlocksScanned += st.BlocksScanned
-		stats.BlocksPruned += st.BlocksPruned
-		stats.RecordsScanned += st.RecordsScanned
-		stats.RecordsMatched += st.RecordsMatched
+		stats.Merge(<-statsCh)
 	}
 	metricScanSeconds.ObserveDuration(time.Since(start)) //bsvet:allow determinism scan latency telemetry measures host time, not simulated time
 	return stats, firstErr
@@ -467,6 +619,8 @@ func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- s
 		slab.Recs = part
 		if len(part) > 0 {
 			if sorted {
+				// Stable: equal timestamps keep ingest order, the
+				// tertiary key of the deterministic merge order.
 				sort.SliceStable(part, func(a, b int) bool { return part[a].Start.Before(part[b].Start) })
 			}
 			stats.RecordsMatched += uint64(len(part))

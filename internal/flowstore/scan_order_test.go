@@ -1,0 +1,273 @@
+package flowstore
+
+import (
+	"errors"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"booterscope/internal/flow"
+)
+
+// tieRecord builds a record whose key varies with n (spreading records
+// across shards) and whose start time is fixed by ts.
+func tieRecord(n int, ts time.Time) flow.Record {
+	return flow.Record{
+		Key: flow.Key{
+			Src:      netip.AddrFrom4([4]byte{10, 0, byte(n >> 8), byte(n)}),
+			Dst:      netip.AddrFrom4([4]byte{192, 0, byte(n >> 8), byte(n)}),
+			SrcPort:  uint16(1024 + n),
+			DstPort:  123,
+			Protocol: 17,
+		},
+		Packets:      uint64(n + 1),
+		Bytes:        uint64((n + 1) * 100),
+		Start:        ts,
+		End:          ts.Add(time.Minute),
+		SamplingRate: 1,
+	}
+}
+
+// TestScanTieBreakDeterministic pins the merged scan order for equal
+// timestamps: ascending Start, then shard index, then ingest order
+// within the shard. The expectation is computed independently with a
+// stable sort keyed on (Start, shard) over the append sequence — if
+// the merge's tie-break ever regresses to anything order-unstable this
+// comparison breaks.
+func TestScanTieBreakDeterministic(t *testing.T) {
+	const shards = 4
+	st, err := Open(t.TempDir(), Options{Shards: shards, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	base := time.Date(2018, 4, 1, 12, 0, 0, 0, time.UTC)
+	var appended []flow.Record
+	// Three distinct timestamps, many records per timestamp, appended
+	// in interleaved order so every shard holds colliding ties.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 48; i++ {
+			ts := base.Add(time.Duration(i%3) * time.Minute)
+			appended = append(appended, tieRecord(round*100+i, ts))
+		}
+	}
+	if err := st.Append(appended); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected order: stable sort by (Start, shard) preserves append
+	// order as the tertiary key.
+	expected := append([]flow.Record(nil), appended...)
+	sort.SliceStable(expected, func(a, b int) bool {
+		if !expected[a].Start.Equal(expected[b].Start) {
+			return expected[a].Start.Before(expected[b].Start)
+		}
+		return shardOf(&expected[a], shards) < shardOf(&expected[b], shards)
+	})
+
+	var got []flow.Record
+	if _, err := st.Scan(Query{}, func(r *flow.Record) error {
+		got = append(got, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(expected) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(expected))
+	}
+	for i := range got {
+		if !recordEqual(&got[i], &expected[i]) {
+			t.Fatalf("record %d out of order:\n got  %+v\n want %+v", i, got[i], expected[i])
+		}
+	}
+}
+
+// TestCursorMatchesScan pins the pull-based Cursor to the callback
+// Scan: same records, same order, same accounting.
+func TestCursorMatchesScan(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Shards: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	base := time.Date(2018, 4, 2, 0, 0, 0, 0, time.UTC)
+	var recs []flow.Record
+	for i := 0; i < 500; i++ {
+		// Nanosecond offsets plus repeated seconds: a mix of unique and
+		// colliding start times.
+		ts := base.Add(time.Duration(i%17)*time.Second + time.Duration(i%5)*time.Nanosecond)
+		recs = append(recs, tieRecord(i, ts))
+	}
+	if err := st.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromScan []flow.Record
+	scanStats, err := st.Scan(Query{}, func(r *flow.Record) error {
+		fromScan = append(fromScan, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := st.NewCursor(Query{})
+	var fromCursor []flow.Record
+	for {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		fromCursor = append(fromCursor, *r)
+	}
+	curStats, err := cur.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fromScan) != len(fromCursor) {
+		t.Fatalf("cursor returned %d records, scan %d", len(fromCursor), len(fromScan))
+	}
+	for i := range fromScan {
+		if !recordEqual(&fromScan[i], &fromCursor[i]) {
+			t.Fatalf("record %d differs between Scan and Cursor", i)
+		}
+	}
+	if scanStats != curStats {
+		t.Fatalf("stats differ: scan %+v cursor %+v", scanStats, curStats)
+	}
+}
+
+// TestCursorCloseEarly releases every pooled slab even when the caller
+// abandons the scan after a few records.
+func TestCursorCloseEarly(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Shards: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	base := time.Date(2018, 4, 3, 0, 0, 0, 0, time.UTC)
+	var recs []flow.Record
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, tieRecord(i, base.Add(time.Duration(i)*time.Millisecond)))
+	}
+	if err := st.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := st.NewCursor(Query{})
+	for i := 0; i < 3; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatal("cursor exhausted too early")
+		}
+	}
+	if _, err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if _, err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sliceStream adapts a record slice (already time-ordered) to
+// RecordStream, with an optional terminal error.
+type sliceStream struct {
+	recs []flow.Record
+	pos  int
+	err  error
+	// failAt, when >= 0, fails the stream after that many records.
+	failAt int
+}
+
+func (s *sliceStream) Next() (*flow.Record, bool) {
+	if s.failAt >= 0 && s.pos >= s.failAt {
+		s.err = errors.New("stream failed")
+		return nil, false
+	}
+	if s.pos >= len(s.recs) {
+		return nil, false
+	}
+	r := &s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *sliceStream) Err() error { return s.err }
+
+// TestMergeStreamsTieBreak pins MergeStreams' deterministic order:
+// ascending Start, ties broken by stream index, then stream order.
+func TestMergeStreamsTieBreak(t *testing.T) {
+	base := time.Date(2018, 4, 4, 0, 0, 0, 0, time.UTC)
+	mk := func(n int, ts time.Time) flow.Record { return tieRecord(n, ts) }
+	a := &sliceStream{failAt: -1, recs: []flow.Record{
+		mk(0, base), mk(1, base), mk(2, base.Add(time.Second)),
+	}}
+	b := &sliceStream{failAt: -1, recs: []flow.Record{
+		mk(10, base), mk(11, base.Add(time.Second)), mk(12, base.Add(2*time.Second)),
+	}}
+	c := &sliceStream{failAt: -1, recs: []flow.Record{
+		mk(20, base),
+	}}
+
+	var order []uint64 // Packets field identifies records (n+1)
+	var sources []int
+	err := MergeStreams([]RecordStream{a, b, c}, func(i int, r *flow.Record) error {
+		order = append(order, r.Packets)
+		sources = append(sources, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []uint64{1, 2, 11, 21, 3, 12, 13}
+	wantSources := []int{0, 0, 1, 2, 0, 1, 1}
+	if len(order) != len(wantOrder) {
+		t.Fatalf("merged %d records, want %d", len(order), len(wantOrder))
+	}
+	for i := range order {
+		if order[i] != wantOrder[i] || sources[i] != wantSources[i] {
+			t.Fatalf("position %d: got (rec %d, stream %d), want (rec %d, stream %d)",
+				i, order[i], sources[i], wantOrder[i], wantSources[i])
+		}
+	}
+}
+
+// TestMergeStreamsError: the first stream failure aborts the merge
+// immediately — later records from healthy streams are not delivered
+// after the failure is observed.
+func TestMergeStreamsError(t *testing.T) {
+	base := time.Date(2018, 4, 5, 0, 0, 0, 0, time.UTC)
+	ok := &sliceStream{failAt: -1, recs: []flow.Record{
+		tieRecord(0, base), tieRecord(1, base.Add(time.Hour)),
+	}}
+	bad := &sliceStream{failAt: 1, recs: []flow.Record{
+		tieRecord(10, base.Add(time.Minute)), tieRecord(11, base.Add(2*time.Minute)),
+	}}
+	var n int
+	err := MergeStreams([]RecordStream{ok, bad}, func(int, *flow.Record) error {
+		n++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("merge over a failing stream returned nil error")
+	}
+	// Records delivered before the failure: stream 0's base record and
+	// stream 1's first record. Stream 0's base+1h record sorts after
+	// the failure point and must not arrive.
+	if n != 2 {
+		t.Fatalf("delivered %d records before surfacing the error, want 2", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -63,6 +64,15 @@ func Handler(reg *telemetry.Registry, draining *atomic.Bool) http.Handler {
 // eventlog.Active() per request, so a recorder installed after the
 // server starts is still served.
 func HandlerWith(reg *telemetry.Registry, draining *atomic.Bool, events *eventlog.Log) http.Handler {
+	return HandlerWithExtra(reg, draining, events, nil)
+}
+
+// HandlerWithExtra is HandlerWith plus subsystem-owned endpoints
+// mounted on the same mux — the seam binaries use to expose views the
+// debug server cannot build itself, like the federation coordinator's
+// /vantages. Extra paths are mounted in sorted order and listed on
+// the index page; a path colliding with a built-in panics (mux rules).
+func HandlerWithExtra(reg *telemetry.Registry, draining *atomic.Bool, events *eventlog.Log, extra map[string]http.Handler) http.Handler {
 	recorder := func() *eventlog.Log {
 		if events != nil {
 			return events
@@ -121,6 +131,16 @@ func HandlerWith(reg *telemetry.Registry, draining *atomic.Bool, events *eventlo
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraPaths := make([]string, 0, len(extra))
+	for p := range extra {
+		extraPaths = append(extraPaths, p)
+	}
+	sort.Strings(extraPaths)
+	extraIndex := ""
+	for _, p := range extraPaths {
+		mux.Handle(p, extra[p])
+		extraIndex += fmt.Sprintf("%-14s subsystem endpoint\n", p)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -134,7 +154,8 @@ func HandlerWith(reg *telemetry.Registry, draining *atomic.Bool, events *eventlo
 			"/attacks       reconstructed attack timelines\n"+
 			"/attacks/{id}  one attack's lifecycle timeline\n"+
 			"/healthz       liveness (503 while draining)\n"+
-			"/debug/pprof/  Go profiling\n")
+			"/debug/pprof/  Go profiling\n"+
+			extraIndex)
 	})
 	return mux
 }
@@ -144,6 +165,12 @@ func HandlerWith(reg *telemetry.Registry, draining *atomic.Bool, events *eventlo
 //
 //	dbg, err := debugserver.Start(*addr, telemetry.Default())
 func Start(addr string, reg *telemetry.Registry) (*Server, error) {
+	return StartWith(addr, reg, nil)
+}
+
+// StartWith is Start with subsystem endpoints mounted next to the
+// built-ins (see HandlerWithExtra).
+func StartWith(addr string, reg *telemetry.Registry, extra map[string]http.Handler) (*Server, error) {
 	// The ring-size knob and occupancy gauges apply even when no
 	// server is started: span retention is a process property, and the
 	// gauges surface in any scrape of the registry. Registration is
@@ -167,7 +194,7 @@ func Start(addr string, reg *telemetry.Registry) (*Server, error) {
 		ln:       ln,
 		draining: draining,
 		srv: &http.Server{
-			Handler:           Handler(reg, draining),
+			Handler:           HandlerWithExtra(reg, draining, nil, extra),
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
