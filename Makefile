@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation bench demo demo-lossy
+.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation columnar-oracle bench bench-smoke demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,21 @@ race:
 # check is the pre-merge gate: lint, the bsvet static-analysis suite,
 # the flow-archive crash-recovery scenario, the daemon
 # checkpoint-chaos scenario, the sharded-pipeline race scenario, the
-# multi-vantage federation gate, plus the full suite under the race
-# detector.
-check: lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation
+# multi-vantage federation gate, the columnar-vs-row differential
+# oracle, plus the full suite under the race detector.
+check: lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation columnar-oracle
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
+
+# columnar-oracle pins the columnar hot path to the retained row
+# decoder: pushed-down filtering must select exactly the rows the row
+# decoder keeps, and a full scan→classify replay on the columnar path
+# must be byte-identical to the row oracle — under the race detector
+# with shuffled order, test cache defeated so the gate always runs.
+columnar-oracle:
+	$(GO) test -race -shuffle=on ./internal/flowstore -run 'TestPushdownMatchesRowFilter|TestRowDecodeOracleEquivalence|TestV1ArchiveCompat|TestScanStatsColumnsDecoded' -count=1
+	$(GO) test -race -shuffle=on ./internal/core -run 'TestColumnarMatchesRow' -count=1
+	$(GO) test -race -shuffle=on ./internal/pipe -run 'TestFanOutColumnar|TestColsBatchLazyMaterialization' -count=1
 
 # analyze runs booterscope's repo-invariant static-analysis suite
 # (cmd/bsvet): determinism (no wall-clock or global-rand reads in
@@ -50,12 +60,24 @@ federation:
 # bench compares the legacy serial replay against the batch pipeline
 # at parallelism=4 and writes the machine-readable artifacts consumed
 # by the PR gates: BENCH_4.json (records/s per path plus the speedup
-# ratio), BENCH_7.json (flight-recorder on/off overhead, < 2%), and
-# BENCH_8.json (federated 3-store scan vs the single union store).
+# ratio — pinned to the row-decode oracle, it is the frozen baseline
+# BENCH_9 divides by), BENCH_7.json (flight-recorder on/off overhead,
+# < 2%), BENCH_8.json (federated 3-store scan vs the single union
+# store), and BENCH_9.json (columnar hot path vs the row oracle; the
+# artifact test fails unless the columnar rate clears 2x BENCH_4).
 bench:
 	BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test ./internal/core -run TestWriteBenchArtifact -count=1 -v
 	BENCH_EVENTLOG_OUT=$(CURDIR)/BENCH_7.json $(GO) test ./internal/core -run TestWriteEventlogBenchArtifact -count=1 -v
 	BENCH_FEDERATION_OUT=$(CURDIR)/BENCH_8.json $(GO) test ./internal/core -run TestWriteFederationBenchArtifact -count=1 -v
+	BENCH_COLUMNAR_OUT=$(CURDIR)/BENCH_9.json $(GO) test ./internal/core -run TestWriteColumnarBenchArtifact -count=1 -v -timeout 30m
+
+# bench-smoke compiles and runs the hot-path benchmarks for one short
+# iteration — no timing claims, just proof the decode/scan/classify
+# benchmark paths still build and execute, so the hot path cannot
+# silently stop compiling (the full `make bench` run is manual).
+bench-smoke:
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkColumnarAnalyze|BenchmarkPipelineAnalyze' -benchtime 1x -count=1
+	$(GO) test ./internal/flowstore -run xxx -bench . -benchtime 1x -count=1
 
 # incident-chaos kills the flight recorder's dump writer at every
 # write/fsync/rename offset and reloads: each crash must leave either

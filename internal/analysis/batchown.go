@@ -10,6 +10,31 @@ import (
 // ownership contract this analyzer encodes.
 const batchPkgPath = "booterscope/internal/pipe"
 
+// colBlockPkgPath is the package whose ColumnBlock type shares the
+// same pooled-lifecycle contract (DESIGN.md §14): blocks are recycled
+// process-wide, so a use after Release reads someone else's scan.
+const colBlockPkgPath = "booterscope/internal/flowstore"
+
+// trackedKind names a pooled type for diagnostics: "batch" for
+// pipe.Batch, "column block" for flowstore.ColumnBlock, "" for
+// untracked.
+func trackedKind(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	switch {
+	case named.Obj().Name() == "Batch" && named.Obj().Pkg().Path() == batchPkgPath:
+		return "batch"
+	case named.Obj().Name() == "ColumnBlock" && named.Obj().Pkg().Path() == colBlockPkgPath:
+		return "column block"
+	}
+	return ""
+}
+
 // BatchOwnership flags any use of a pipe.Batch value after it has been
 // handed off within the same statement block. A released batch returns
 // to a sync.Pool and its backing arrays are recycled by the next
@@ -34,6 +59,13 @@ const batchPkgPath = "booterscope/internal/pipe"
 // have to be tracked), and `defer b.Release()` never consumes — the
 // deferred call runs at function exit, after every use. Reassigning
 // the variable (b = pipe.NewBatch()) starts a fresh ownership.
+//
+// flowstore.ColumnBlock shares the contract (DESIGN.md §14): the same
+// use-after-Release rule applies, and additionally no function taking
+// a tracked value as a parameter may store the value, its column
+// struct, or a (re)slice of a column array into a field — the borrow
+// ends when the call returns and the slab is recycled, so survivors
+// must be copied out (see checkColumnEscapes).
 type BatchOwnership struct{}
 
 // NewBatchOwnership builds the analyzer.
@@ -57,12 +89,109 @@ func (b *BatchOwnership) Check(pkg *Pkg) []Diagnostic {
 			if body != nil {
 				bo := &batchOwnChecker{pkg: pkg}
 				bo.block(body, map[*types.Var]*consumeEvent{})
+				bo.checkColumnEscapes(n, body)
 				out = append(out, bo.diags...)
 			}
 			return true
 		})
 	}
 	return out
+}
+
+// checkColumnEscapes flags field stores that alias a tracked
+// parameter's column arrays past the call — the "retained column slice
+// escaping a stage" bug. A stage's Process (or an emit callback)
+// borrows its batch: storing b.Cols, a column slice (b.Cols.Packets),
+// or a reslice of one into a struct field keeps a view into a slab the
+// pool recycles right after the call returns. Element reads
+// (b.Cols.Packets[i]) copy scalars and stay legal, as does anything
+// passed through a call (MaterializeAppend and friends copy). Only
+// parameters are tracked — methods *on* ColumnBlock manage their own
+// storage, and locals are covered by the use-after-release rule.
+func (c *batchOwnChecker) checkColumnEscapes(fn ast.Node, body *ast.BlockStmt) {
+	params := map[*types.Var]bool{}
+	var ft *ast.FuncType
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft = f.Type
+	case *ast.FuncLit:
+		ft = f.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := c.pkg.Info.Defs[name].(*types.Var); ok && trackedKind(v.Type()) != "" {
+				params[v] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals get their own walk via Check.
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if !isFieldStore(lhs) {
+				continue
+			}
+			// Stores into a tracked value's own fields (cb.payload =
+			// cb.payload[:n]) are the value managing its own storage,
+			// not an escape.
+			if c.aliasesColumns(lhs, params) != nil {
+				continue
+			}
+			if v := c.aliasesColumns(as.Rhs[i], params); v != nil {
+				c.diags = append(c.diags, diag(c.pkg, as.Rhs[i].Pos(), "batchownership",
+					"%s %s's columns escape via field store; the slab is recycled after the call — copy the data out instead",
+					trackedKind(v.Type()), v.Name()))
+			}
+		}
+		return true
+	})
+}
+
+// isFieldStore reports whether lhs writes through a field, pointer, or
+// element — anywhere that outlives the enclosing call's locals.
+func isFieldStore(lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return isFieldStore(l.X)
+	}
+	return false
+}
+
+// aliasesColumns reports which tracked parameter (if any) the
+// expression keeps a live view into: the parameter itself, a selector
+// chain off it (b.Cols, b.Cols.Packets), or a reslice of one. Index
+// expressions produce scalar copies and calls produce owned values, so
+// both stop the chain.
+func (c *batchOwnChecker) aliasesColumns(e ast.Expr, params map[*types.Var]bool) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := c.pkg.Info.Uses[e].(*types.Var); ok && params[v] {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return c.aliasesColumns(e.X, params)
+	case *ast.SliceExpr:
+		return c.aliasesColumns(e.X, params)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.aliasesColumns(e.X, params)
+		}
+	}
+	return nil
 }
 
 // consumeEvent records where and how a batch variable was consumed.
@@ -76,8 +205,8 @@ type batchOwnChecker struct {
 	diags []Diagnostic
 }
 
-// isBatchVar resolves id to a *types.Var of type *pipe.Batch (or
-// pipe.Batch), else nil.
+// isBatchVar resolves id to a *types.Var of a tracked pooled type
+// (*pipe.Batch or *flowstore.ColumnBlock, pointer or value), else nil.
 func (c *batchOwnChecker) isBatchVar(e ast.Expr) *types.Var {
 	id, ok := ast.Unparen(e).(*ast.Ident)
 	if !ok {
@@ -89,15 +218,7 @@ func (c *batchOwnChecker) isBatchVar(e ast.Expr) *types.Var {
 			return nil
 		}
 	}
-	t := v.Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
-		return nil
-	}
-	if named.Obj().Name() != "Batch" || named.Obj().Pkg().Path() != batchPkgPath {
+	if trackedKind(v.Type()) == "" {
 		return nil
 	}
 	return v
@@ -240,8 +361,8 @@ func (c *batchOwnChecker) reportUses(n ast.Node, consumed map[*types.Var]*consum
 		}
 		if ev, ok := consumed[v]; ok {
 			c.diags = append(c.diags, diag(c.pkg, id.Pos(), "batchownership",
-				"batch %s used after %s at line %d; ownership was handed off (slab may already be recycled)",
-				id.Name, ev.what, c.pkg.Fset.Position(ev.pos).Line))
+				"%s %s used after %s at line %d; ownership was handed off (slab may already be recycled)",
+				trackedKind(v.Type()), id.Name, ev.what, c.pkg.Fset.Position(ev.pos).Line))
 		}
 		return true
 	})
@@ -270,7 +391,7 @@ func (c *batchOwnChecker) consumeCall(call *ast.CallExpr, consumed map[*types.Va
 	// b.Release() and pool.Put(b).
 	if fn := funcFor(c.pkg, call); fn != nil {
 		switch {
-		case fn.Name() == "Release" && pkgPathOf(fn) == batchPkgPath:
+		case fn.Name() == "Release" && (pkgPathOf(fn) == batchPkgPath || pkgPathOf(fn) == colBlockPkgPath):
 			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 				if v := c.isBatchVar(sel.X); v != nil {
 					consumed[v] = &consumeEvent{pos: call.Pos(), what: "Release"}

@@ -1,0 +1,73 @@
+package batchown
+
+import (
+	"booterscope/internal/flow"
+	"booterscope/internal/flowstore"
+	"booterscope/internal/pipe"
+)
+
+// BlockUseAfterRelease reads a recycled column block: the pool may
+// already have handed its arrays to another scanner.
+func BlockUseAfterRelease(cb *flowstore.ColumnBlock) int {
+	cb.Release()
+	return cb.Cols.Len() // want "column block cb used after Release"
+}
+
+// BlockDoubleRelease re-inserts a block someone else may have checked
+// out.
+func BlockDoubleRelease(cb *flowstore.ColumnBlock) {
+	cb.Release()
+	cb.Release() // want "column block cb used after Release"
+}
+
+// colsCache models a stage that wrongly caches views into a borrowed
+// batch's column slab.
+type colsCache struct {
+	cols    *flow.Columns
+	packets []uint64
+	tail    []uint64
+	first   uint64
+	recs    []flow.Record
+}
+
+// RetainColumns stores the whole column struct pointer past Process.
+func (s *colsCache) RetainColumns(b *pipe.Batch) error {
+	s.cols = b.Cols // want "batch b's columns escape via field store"
+	return nil
+}
+
+// RetainColumnSlice stores one column array past Process.
+func (s *colsCache) RetainColumnSlice(b *pipe.Batch) error {
+	s.packets = b.Cols.Packets // want "batch b's columns escape via field store"
+	return nil
+}
+
+// RetainReslice reslicing does not launder the alias.
+func (s *colsCache) RetainReslice(b *pipe.Batch) error {
+	s.tail = b.Cols.Packets[1:] // want "batch b's columns escape via field store"
+	return nil
+}
+
+// RetainBlockColumn applies to column blocks the same way.
+func (s *colsCache) RetainBlockColumn(cb *flowstore.ColumnBlock) {
+	s.packets = cb.Cols.Packets // want "column block cb's columns escape via field store"
+}
+
+// CopyOutIsFine: element reads copy scalars and materialization copies
+// records — neither aliases the slab.
+func (s *colsCache) CopyOutIsFine(b *pipe.Batch) error {
+	s.first = b.Cols.Packets[0]
+	s.recs = b.Cols.MaterializeAppend(s.recs[:0])
+	s.packets = append(s.packets[:0], b.Cols.Packets...)
+	return nil
+}
+
+// LocalViewIsFine: a view held in a local dies with the call.
+func LocalViewIsFine(b *pipe.Batch) uint64 {
+	view := b.Cols.Packets
+	var sum uint64
+	for _, v := range view {
+		sum += v
+	}
+	return sum
+}

@@ -63,6 +63,20 @@ func IsAmplifiedNTP(r *flow.Record, cfg Config) bool {
 	return IsNTPFlow(r) && r.AvgPacketSize() > cfg.SizeThreshold
 }
 
+// IsNTPFlowCols is IsNTPFlow evaluated against row i of a columnar
+// slab — no record is materialized.
+func IsNTPFlowCols(c *flow.Columns, i int) bool {
+	return c.Proto[i] == packet.IPProtoUDP && c.SrcPort[i] == NTPPort
+}
+
+// IsAmplifiedNTPCols is IsAmplifiedNTP over a columnar slab. It agrees
+// with the row predicate for every record (the columnar golden tests
+// pin this row-for-row).
+func IsAmplifiedNTPCols(c *flow.Columns, i int, cfg Config) bool {
+	cfg = cfg.withDefaults()
+	return IsNTPFlowCols(c, i) && c.AvgPacketSize(i) > cfg.SizeThreshold
+}
+
 // Classifier accumulates flow records and produces the study's victim
 // and attack statistics.
 type Classifier struct {
@@ -82,6 +96,19 @@ func (c *Classifier) Add(r *flow.Record) bool {
 		return false
 	}
 	c.perDest.Add(r)
+	return true
+}
+
+// AddCols feeds row i of a columnar slab: the optimistic pre-filter
+// runs on the columns and only accepted rows pay for materializing a
+// record (the per-destination aggregation still wants one).
+func (c *Classifier) AddCols(cols *flow.Columns, i int) bool {
+	// c.cfg is already defaulted (New), so apply the predicate directly.
+	if !IsNTPFlowCols(cols, i) || cols.AvgPacketSize(i) <= c.cfg.SizeThreshold {
+		return false
+	}
+	r := cols.Record(i)
+	c.perDest.Add(&r)
 	return true
 }
 
@@ -208,27 +235,95 @@ type AttackCounter struct {
 	// per-record hot path, and pointer-free keys keep the maps out of
 	// both the write barrier and the garbage collector's scan.
 	hours map[int64]map[[16]byte]struct{}
-	// minuteState tracks per (dest, minute) aggregates.
+	// minuteState tracks per (dest, minute) aggregates; arena is the
+	// chunked allocator the bins come from (one allocation per 256
+	// bins instead of one each — the counter's dominant allocation).
 	minutes map[minuteKey]*minuteAgg
-	// lastKey/lastAgg memoize the most recent minute bin: attack
-	// records arrive in per-victim bursts, so consecutive records
-	// usually hit the same (dst, minute) and skip the map lookup.
-	lastKey minuteKey
-	lastAgg *minuteAgg
+	arena   []minuteAgg
+	// lastKeys/lastAggs memoize recent minute bins in a small
+	// direct-mapped cache indexed by the victim's low address byte:
+	// attack records arrive in per-victim bursts, but a handful of
+	// victims interleave within any time slice, so one entry per
+	// low-byte slot keeps the hit rate high where a single-entry memo
+	// thrashes. Purely a cache — misses fall through to the map.
+	lastKeys [memoWays]minuteKey
+	lastAggs [memoWays]*minuteAgg
 }
+
+// memoWays sizes the AttackCounter minute-bin memo (a power of two).
+const memoWays = 8
 
 type minuteKey struct {
 	dst    [16]byte
 	minute int64
 }
 
+// smallSources is the inline source-set capacity of a minute bin: one
+// past the (default) conservative threshold, so a bin can prove
+// "> ConservativeMinSources distinct amplifiers" without ever
+// allocating a map. Only bins that overflow it — or runs with a larger
+// configured MinSources — spill to a real map.
+const smallSources = ConservativeMinSources + 1
+
 type minuteAgg struct {
-	bytes   uint64
-	sources map[[16]byte]struct{}
+	bytes uint64
 	// counted: this minute already crossed the thresholds and its
 	// (hour, dst) entry is recorded — later records in the same minute
 	// can skip the threshold math, since hour membership never retracts.
 	counted bool
+	// nsmall/small are the inline distinct-source set; sources is the
+	// map it spills into (nil until then). Reads go through numSources.
+	nsmall  uint8
+	small   [smallSources][16]byte
+	sources map[[16]byte]struct{}
+}
+
+// addSource records one distinct amplifier address.
+func (m *minuteAgg) addSource(src [16]byte) {
+	if m.sources == nil {
+		for i := 0; i < int(m.nsmall); i++ {
+			if m.small[i] == src {
+				return
+			}
+		}
+		if int(m.nsmall) < smallSources {
+			m.small[m.nsmall] = src
+			m.nsmall++
+			return
+		}
+		m.sources = make(map[[16]byte]struct{}, 2*smallSources)
+		for i := range m.small {
+			m.sources[m.small[i]] = struct{}{}
+		}
+	}
+	m.sources[src] = struct{}{}
+}
+
+// numSources reports the distinct amplifier count.
+func (m *minuteAgg) numSources() int {
+	if m.sources != nil {
+		return len(m.sources)
+	}
+	return int(m.nsmall)
+}
+
+// eachSource visits every recorded source (Merge's fusion walk).
+func (m *minuteAgg) eachSource(f func([16]byte)) {
+	if m.sources != nil {
+		for s := range m.sources {
+			f(s)
+		}
+		return
+	}
+	for i := 0; i < int(m.nsmall); i++ {
+		f(m.small[i])
+	}
+}
+
+// dropSources empties the set — frozen bins never read it again.
+func (m *minuteAgg) dropSources() {
+	m.nsmall = 0
+	m.sources = nil
 }
 
 // NewAttackCounter returns an empty counter.
@@ -255,27 +350,34 @@ func (a *AttackCounter) Add(r *flow.Record) {
 	minute := r.Start.Unix()
 	minute -= minute % 60
 	key := minuteKey{dst: r.Dst.As16(), minute: minute}
-	agg := a.lastAgg
-	if agg == nil || key != a.lastKey {
+	w := key.dst[15] & (memoWays - 1)
+	agg := a.lastAggs[w]
+	if agg == nil || key != a.lastKeys[w] {
 		var ok bool
 		agg, ok = a.minutes[key]
 		if !ok {
-			agg = &minuteAgg{sources: make(map[[16]byte]struct{})}
+			if len(a.arena) == 0 {
+				a.arena = make([]minuteAgg, 256)
+			}
+			agg = &a.arena[0]
+			a.arena = a.arena[1:]
 			a.minutes[key] = agg
 		}
-		a.lastKey, a.lastAgg = key, agg
+		a.lastKeys[w], a.lastAggs[w] = key, agg
 	}
-	agg.bytes += r.ScaledBytes()
-	src := r.Src.As16()
-	if _, seen := agg.sources[src]; !seen {
-		agg.sources[src] = struct{}{}
-	}
+	// A counted bin is frozen: its (hour, dst) entry is recorded and
+	// hour membership never retracts, so further bytes/source tracking
+	// cannot change any output — including Merge's re-check, which only
+	// ever adds hour entries. Skipping the source-set insert here drops
+	// the map traffic for the flood-heavy tail of every attack minute.
 	if agg.counted {
 		return
 	}
+	agg.bytes += r.ScaledBytes()
+	agg.addSource(r.Src.As16())
 
 	rate := float64(agg.bytes) * 8 / 60
-	if rate > a.cfg.MinRateBps && len(agg.sources) > a.cfg.MinSources {
+	if rate > a.cfg.MinRateBps && agg.numSources() > a.cfg.MinSources {
 		hour := minute - minute%3600
 		set, ok := a.hours[hour]
 		if !ok {
@@ -284,15 +386,71 @@ func (a *AttackCounter) Add(r *flow.Record) {
 		}
 		set[key.dst] = struct{}{}
 		agg.counted = true
+		// Frozen bins never read their source set again (Merge visits
+		// an empty set); dropping it here releases the per-minute
+		// spoofed-source sets — by far the counter's largest live
+		// memory — as soon as they stop mattering.
+		agg.dropSources()
+	}
+}
+
+// AddCols is Add over row i of a columnar slab: the filter, the minute
+// truncation, and both map keys come straight from the column vectors
+// — the counter's hot path never materializes a flow.Record.
+func (a *AttackCounter) AddCols(c *flow.Columns, i int) {
+	if !IsNTPFlowCols(c, i) || c.AvgPacketSize(i) <= a.cfg.SizeThreshold {
+		return
+	}
+	minute := c.StartSec[i]
+	minute -= minute % 60
+	key := minuteKey{dst: c.DstAs16(i), minute: minute}
+	w := key.dst[15] & (memoWays - 1)
+	agg := a.lastAggs[w]
+	if agg == nil || key != a.lastKeys[w] {
+		var ok bool
+		agg, ok = a.minutes[key]
+		if !ok {
+			if len(a.arena) == 0 {
+				a.arena = make([]minuteAgg, 256)
+			}
+			agg = &a.arena[0]
+			a.arena = a.arena[1:]
+			a.minutes[key] = agg
+		}
+		a.lastKeys[w], a.lastAggs[w] = key, agg
+	}
+	// Frozen-bin fast path — see Add for why this is exact.
+	if agg.counted {
+		return
+	}
+	agg.bytes += c.ScaledBytes(i)
+	agg.addSource(c.SrcAs16(i))
+
+	rate := float64(agg.bytes) * 8 / 60
+	if rate > a.cfg.MinRateBps && agg.numSources() > a.cfg.MinSources {
+		hour := minute - minute%3600
+		set, ok := a.hours[hour]
+		if !ok {
+			set = make(map[[16]byte]struct{})
+			a.hours[hour] = set
+		}
+		set[key.dst] = struct{}{}
+		agg.counted = true
+		// Frozen bins never read their source set again (Merge visits
+		// an empty set); dropping it here releases the per-minute
+		// spoofed-source sets — by far the counter's largest live
+		// memory — as soon as they stop mattering.
+		agg.dropSources()
 	}
 }
 
 // Merge folds another counter's state into a; other must not be used
 // afterwards. Hour sets union; fused minute bins are re-checked
-// against the thresholds, which is exact because bytes and source
-// counts only grow — a minute that crossed the thresholds at any
-// intermediate point in a serial run also crosses them in its final
-// merged state.
+// against the thresholds, which is exact: an uncounted bin's bytes and
+// source counts only grow under fusion, and a counted bin — frozen at
+// the moment it crossed the thresholds — already contributed its
+// (hour, dst) entry to the hour sets being unioned, so the re-check
+// has nothing left to prove for it.
 func (a *AttackCounter) Merge(other *AttackCounter) {
 	if other == nil {
 		return
@@ -303,10 +461,13 @@ func (a *AttackCounter) Merge(other *AttackCounter) {
 			a.minutes[k] = oagg
 			continue
 		}
-		agg.bytes += oagg.bytes
-		for s := range oagg.sources {
-			agg.sources[s] = struct{}{}
+		if agg.counted {
+			// Frozen fused bin: its hour entry is already recorded, so
+			// the fused stats can stay frozen too.
+			continue
 		}
+		agg.bytes += oagg.bytes
+		oagg.eachSource(agg.addSource)
 	}
 	for hour, oset := range other.hours {
 		set, ok := a.hours[hour]
@@ -321,7 +482,7 @@ func (a *AttackCounter) Merge(other *AttackCounter) {
 	for k := range other.minutes {
 		agg := a.minutes[k]
 		rate := float64(agg.bytes) * 8 / 60
-		if rate > a.cfg.MinRateBps && len(agg.sources) > a.cfg.MinSources {
+		if rate > a.cfg.MinRateBps && agg.numSources() > a.cfg.MinSources {
 			hour := k.minute - k.minute%3600
 			set, ok := a.hours[hour]
 			if !ok {

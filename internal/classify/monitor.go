@@ -235,6 +235,21 @@ func (m *Monitor) detectProtocol(r *flow.Record) string {
 	return proto
 }
 
+// detectProtocolCols is detectProtocol over row i of a columnar slab.
+func (m *Monitor) detectProtocolCols(c *flow.Columns, i int) string {
+	if c.Proto[i] != packet.IPProtoUDP {
+		return ""
+	}
+	proto, ok := reflectionProtocols[c.SrcPort[i]]
+	if !ok {
+		return ""
+	}
+	if c.AvgPacketSize(i) <= m.cfg.SizeThreshold {
+		return ""
+	}
+	return proto
+}
+
 func (m *Monitor) maxMinutes() int {
 	if m.MaxMinutes <= 0 {
 		return DefaultMaxMinutes
@@ -281,6 +296,31 @@ func (m *Monitor) AddAt(r *flow.Record, watermarkUnix int64) *Alert {
 	if !IsAmplifiedNTP(r, m.cfg) {
 		return nil
 	}
+	return m.addMatched(r, watermarkUnix)
+}
+
+// AddColsAt is AddAt over row i of a columnar slab: the counting-path
+// filters (per-protocol detection and the optimistic amplified-NTP
+// gate) read the column vectors directly, so the overwhelming majority
+// of records — those the filter rejects — never materialize. Only
+// matched records are built into a flow.Record for the shared binning
+// and alerting logic.
+func (m *Monitor) AddColsAt(c *flow.Columns, i int, watermarkUnix int64) *Alert {
+	m.m.records.Inc()
+	if proto := m.detectProtocolCols(c, i); proto != "" {
+		m.m.detections.With(proto).Inc()
+	}
+	if !IsAmplifiedNTPCols(c, i, m.cfg) {
+		return nil
+	}
+	r := c.Record(i)
+	return m.addMatched(&r, watermarkUnix)
+}
+
+// addMatched is the shared tail of AddAt/AddColsAt for records that
+// passed the optimistic filter: clock advance, bin aggregation,
+// threshold check, and alert/re-alert bookkeeping.
+func (m *Monitor) addMatched(r *flow.Record, watermarkUnix int64) *Alert {
 	m.m.matched.Inc()
 	minute := r.Start.UTC().Truncate(time.Minute)
 	m.AdvanceTo(watermarkUnix)

@@ -113,11 +113,20 @@ func (s *ShardedMonitor) MarkFilter() func(*flow.Record) bool {
 	return func(r *flow.Record) bool { return IsAmplifiedNTP(r, s.cfg) }
 }
 
+// ColMarkFilter is MarkFilter evaluated directly against a columnar
+// slab — the columnar routing path's watermark predicate.
+func (s *ShardedMonitor) ColMarkFilter() func(*flow.Columns, int) bool {
+	return func(c *flow.Columns, i int) bool { return IsAmplifiedNTPCols(c, i, s.cfg) }
+}
+
 // FanOut builds the fan-out stage that drives this monitor: victim
 // hash routing, the monitor's watermark filter, one worker per shard.
+// Columnar batches route and stamp column-wise end to end.
 func (s *ShardedMonitor) FanOut() *pipe.FanOut {
 	f := pipe.NewFanOut(pipe.KeyDst, s.Stages()...)
 	f.SetMarkFilter(s.MarkFilter())
+	f.SetColKey(pipe.KeyDstCols)
+	f.SetColMarkFilter(s.ColMarkFilter())
 	return f
 }
 
@@ -190,29 +199,46 @@ type monitorShard struct {
 
 // Process feeds the batch to the shard monitor, using the stamped
 // watermarks (falling back to each record's own start time when the
-// batch was not routed through a fan-out).
+// batch was not routed through a fan-out). Columnar batches stay
+// columnar: the monitor's counting path reads the columns directly and
+// only filter-matched records are ever materialized.
 func (s *monitorShard) Process(b *pipe.Batch) error {
+	if b.Cols != nil {
+		c := b.Cols
+		for i, n := 0, c.Len(); i < n; i++ {
+			mark := c.StartSec[i]
+			if i < len(b.Marks) {
+				mark = b.Marks[i]
+			}
+			s.emit(s.mon.AddColsAt(c, i, mark), b, i)
+		}
+		return nil
+	}
 	for i := range b.Recs {
 		mark := b.Recs[i].Start.Unix()
 		if i < len(b.Marks) {
 			mark = b.Marks[i]
 		}
-		al := s.mon.AddAt(&b.Recs[i], mark)
-		if al == nil {
-			continue
-		}
-		var seq uint64
-		if i < len(b.Seqs) {
-			seq = b.Seqs[i]
-		} else {
-			seq = uint64(len(s.alerts))
-		}
-		s.alerts = append(s.alerts, seqAlert{seq: seq, alert: *al})
-		if s.parent.OnAlert != nil {
-			s.parent.OnAlert(*al)
-		}
+		s.emit(s.mon.AddAt(&b.Recs[i], mark), b, i)
 	}
 	return nil
+}
+
+// emit records one (possibly nil) alert with its stream sequence.
+func (s *monitorShard) emit(al *Alert, b *pipe.Batch, i int) {
+	if al == nil {
+		return
+	}
+	var seq uint64
+	if i < len(b.Seqs) {
+		seq = b.Seqs[i]
+	} else {
+		seq = uint64(len(s.alerts))
+	}
+	s.alerts = append(s.alerts, seqAlert{seq: seq, alert: *al})
+	if s.parent.OnAlert != nil {
+		s.parent.OnAlert(*al)
+	}
 }
 
 // AdvanceTo implements pipe.Advancer: at end of stream the fan-out

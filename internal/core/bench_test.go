@@ -117,6 +117,12 @@ func TestWriteBenchArtifact(t *testing.T) {
 		t.Skip("set BENCH_OUT to write the benchmark artifact")
 	}
 	replay, recs := benchArchive(t)
+	// BENCH_4 is the row-pipeline baseline the columnar acceptance gate
+	// (BENCH_9) divides by, so its measurement is pinned to the
+	// row-decode oracle: regenerating it under the columnar default
+	// would silently fold the speedup it is supposed to anchor into the
+	// denominator.
+	replay = rowOracleReplay(t, replay.dir)
 	k := trafficgen.KindTier2
 
 	// Steady-state seconds per analysis, measured the same way the

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"booterscope/internal/flowstore"
+	"booterscope/internal/takedown"
+	"booterscope/internal/trafficgen"
+)
+
+// TestColumnarMatchesRow is the end-to-end differential golden for the
+// columnar hot path: every replayed analysis — the single-pass takedown
+// Analyze, the packet-size histogram, and the victim classification —
+// must be byte-identical between the columnar scan (the default) and
+// the retained row-decode oracle (flowstore.Options.RowDecode), at
+// serial and fanned-out parallelism alike. This is the guarantee that
+// predicate pushdown, lazy materialization, and columnar routing are
+// pure plumbing: they may only change how fast records move, never
+// which records move or what the stages compute from them.
+func TestColumnarMatchesRow(t *testing.T) {
+	cfg := trafficgen.Config{
+		Start:    TakedownDate.Add(-15 * 24 * time.Hour),
+		Days:     30,
+		Takedown: TakedownDate,
+		Seed:     7,
+		Scale:    0.15,
+	}
+	scen := trafficgen.NewScenario(cfg)
+	k := trafficgen.KindTier2
+	study := &TakedownStudy{Scenario: scen, Event: takedown.FBITakedown}
+
+	dir := t.TempDir()
+	if err := study.WriteArchive(dir, flowstore.Options{NoSync: true}, k); err != nil {
+		t.Fatalf("write archive: %v", err)
+	}
+
+	type result struct {
+		analysis *takedown.Analysis
+		fig2a    *PacketSizeDistribution
+		fig2bc   *VantageVictims
+	}
+	run := func(rowDecode bool, par int) result {
+		replay, err := OpenReplayOptions(dir, flowstore.Options{RowDecode: rowDecode})
+		if err != nil {
+			t.Fatalf("open replay (rowDecode=%v): %v", rowDecode, err)
+		}
+		defer replay.Close()
+		replay.Parallelism = par
+		a, err := replay.Analyze(k)
+		if err != nil {
+			t.Fatalf("analyze (rowDecode=%v par=%d): %v", rowDecode, par, err)
+		}
+		bc, err := replay.Figure2bc(k)
+		if err != nil {
+			t.Fatalf("figure2bc (rowDecode=%v par=%d): %v", rowDecode, par, err)
+		}
+		var a2 *PacketSizeDistribution
+		if k == trafficgen.KindIXP {
+			a2, err = replay.Figure2a()
+			if err != nil {
+				t.Fatalf("figure2a (rowDecode=%v par=%d): %v", rowDecode, par, err)
+			}
+		}
+		return result{analysis: a, fig2a: a2, fig2bc: bc}
+	}
+
+	want := run(true, 1) // serial row-decode oracle
+	if len(want.analysis.Figure4) == 0 || len(want.fig2bc.Victims) == 0 {
+		t.Fatal("oracle run is degenerate")
+	}
+	for _, par := range []int{1, 4} {
+		for _, rowDecode := range []bool{false, true} {
+			if rowDecode && par == 1 {
+				continue // the reference itself
+			}
+			got := run(rowDecode, par)
+			if !reflect.DeepEqual(want.analysis, got.analysis) {
+				t.Errorf("analysis diverges from oracle (rowDecode=%v par=%d)", rowDecode, par)
+			}
+			if !reflect.DeepEqual(want.fig2bc, got.fig2bc) {
+				t.Errorf("figure2bc diverges from oracle (rowDecode=%v par=%d)", rowDecode, par)
+			}
+			if !reflect.DeepEqual(want.fig2a, got.fig2a) {
+				t.Errorf("figure2a diverges from oracle (rowDecode=%v par=%d)", rowDecode, par)
+			}
+		}
+	}
+}

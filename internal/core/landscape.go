@@ -58,7 +58,7 @@ func runSharded(src takedown.Source, par int, mk func() pipe.Stage) error {
 	for i := range stages {
 		stages[i] = mk()
 	}
-	return pipe.RunSharded(pipe.Source(src), pipe.KeyDst, stages...)
+	return pipe.RunShardedCols(pipe.Source(src), pipe.KeyDst, pipe.KeyDstCols, stages...)
 }
 
 // PacketSizeDistribution is the Figure 2(a) data: the NTP packet size
@@ -90,6 +90,18 @@ func newHistStage(into *stats.Histogram) *histStage {
 
 // Process implements pipe.Stage.
 func (s *histStage) Process(b *pipe.Batch) error {
+	if c := b.Cols; c != nil {
+		for i, n := 0, c.Len(); i < n; i++ {
+			if c.SrcPort[i] != classify.NTPPort && c.DstPort[i] != classify.NTPPort {
+				continue
+			}
+			size := c.AvgPacketSize(i)
+			for p := uint64(0); p < c.ScaledPackets(i); p += 10000 {
+				s.h.Add(size)
+			}
+		}
+		return nil
+	}
 	for i := range b.Recs {
 		rec := &b.Recs[i]
 		if rec.SrcPort != classify.NTPPort && rec.DstPort != classify.NTPPort {
@@ -169,8 +181,15 @@ func newClassifyStage(into *classify.Classifier) *classifyStage {
 	return &classifyStage{into: into, c: classify.New(classify.Config{})}
 }
 
-// Process implements pipe.Stage.
+// Process implements pipe.Stage. Columnar batches run the classifier
+// filter on the columns and materialize only the records that pass.
 func (s *classifyStage) Process(b *pipe.Batch) error {
+	if cols := b.Cols; cols != nil {
+		for i, n := 0, cols.Len(); i < n; i++ {
+			s.c.AddCols(cols, i)
+		}
+		return nil
+	}
 	for i := range b.Recs {
 		s.c.Add(&b.Recs[i])
 	}

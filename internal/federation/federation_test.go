@@ -282,16 +282,24 @@ func TestFederationScanErrorSurfaces(t *testing.T) {
 	vBad := buildVantage(t, dir, "bad", "tier-1 isp", bad)
 
 	// Corrupt one sealed segment of the bad vantage mid-file so its
-	// scan fails partway through (CRC mismatch), not at open.
+	// scan fails partway through, not at open. The corruption targets a
+	// frame length header — a torn-frame error the format detects by
+	// construction; a flipped payload byte is not guaranteed to break
+	// decoding (a dictionary index flip decodes cleanly to a different
+	// valid value, and sealed-segment scans skip CRC by design).
 	segs, err := filepath.Glob(filepath.Join(vBad.Dir, "shard-*", "seg-*"))
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments found: %v", err)
+	}
+	blocks, err := flowstore.InspectSegment(segs[0])
+	if err != nil || len(blocks) == 0 {
+		t.Fatalf("inspecting segment: %v (%d blocks)", err, len(blocks))
 	}
 	data, err := os.ReadFile(segs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)/2] ^= 0xff
+	data[blocks[len(blocks)/2].Offset] ^= 0xff
 	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package flowstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// benchPayload encodes one sorted block of generated flows — the unit
+// both decode paths consume.
+func benchPayload(b *testing.B) ([]byte, int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(97))
+	recs := genFlows(rng, testBase, 2, 4096)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	return encodeBlock(recs), len(recs)
+}
+
+// BenchmarkDecodeBlockRow measures the row-oracle decoder: one block
+// into []flow.Record. make bench-smoke runs this for a single
+// iteration so the reference path cannot silently stop compiling.
+func BenchmarkDecodeBlockRow(b *testing.B) {
+	payload, n := benchPayload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := decodeBlock(nil, payload, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != n {
+			b.Fatalf("decoded %d records, want %d", len(recs), n)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkDecodeBlockColumnar measures the columnar hot path over the
+// same block: load, decode every column into the pooled vectors, no
+// record materialization.
+func BenchmarkDecodeBlockColumnar(b *testing.B) {
+	payload, n := benchPayload(b)
+	cb := getColumnBlock()
+	defer cb.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cb.load(payload, n); err != nil {
+			b.Fatal(err)
+		}
+		if err := cb.decodeAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

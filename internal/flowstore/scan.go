@@ -36,7 +36,52 @@ type Query struct {
 	PortsEither []uint16
 	// Protocols, when non-empty, matches any of the given IP protocols.
 	Protocols []uint8
+	// Project, when non-zero, names the column groups the caller will
+	// read from delivered columnar batches; the columnar ScanBatches
+	// path then skips decoding every other column (predicate columns
+	// are always decoded). Projected-out columns in delivered batches
+	// hold unspecified values, so a projecting caller must consume
+	// batches columnar — materializing records from a projected batch
+	// yields garbage in the omitted fields. The sorted Scan path and
+	// the row-decode oracle ignore Project and always produce full
+	// records. Zero means all columns.
+	Project ColumnSet
 }
+
+// ColumnSet selects block columns for Query.Project, at record-field
+// granularity. Groups bundle the physical columns a field read needs:
+// addresses pull in the flags column (validity/Is4 bits), end times
+// pull in start seconds (the end column is delta-encoded against it).
+type ColumnSet uint32
+
+const (
+	// ColFlags is the per-record flag byte (address validity/family
+	// and direction bits).
+	ColFlags ColumnSet = 1 << colFlagsIdx
+	// ColSrcAddr and ColDstAddr cover one endpoint address each.
+	ColSrcAddr ColumnSet = 1<<colSrcHiIdx | 1<<colSrcLoIdx | 1<<colFlagsIdx
+	ColDstAddr ColumnSet = 1<<colDstHiIdx | 1<<colDstLoIdx | 1<<colFlagsIdx
+	// ColSrcPort, ColDstPort, and ColProto are the transport header
+	// fields.
+	ColSrcPort ColumnSet = 1 << colSrcPortIdx
+	ColDstPort ColumnSet = 1 << colDstPortIdx
+	ColProto   ColumnSet = 1 << colProtoIdx
+	// ColCounters covers packets, bytes, and the sampling rate — the
+	// scaled-volume trio (ScaledPackets/ScaledBytes/AvgPacketSize all
+	// read them together).
+	ColCounters ColumnSet = 1<<colPacketsIdx | 1<<colBytesIdx | 1<<colSamplingIdx
+	// ColStartSec is start time at whole-second precision — enough for
+	// the study's minute/day binning. ColStart adds the nanosecond
+	// column for full-precision starts.
+	ColStartSec ColumnSet = 1 << colStartSecIdx
+	ColStart    ColumnSet = 1<<colStartSecIdx | 1<<colStartNsIdx
+	// ColEnd covers full-precision end times.
+	ColEnd ColumnSet = 1<<colEndSecIdx | 1<<colEndNsIdx | 1<<colStartSecIdx
+	// ColAS covers both AS-number columns.
+	ColAS ColumnSet = 1<<colSrcASIdx | 1<<colDstASIdx
+	// AllColumns selects everything (the Project zero-value behavior).
+	AllColumns ColumnSet = 1<<nCols - 1
+)
 
 // matches applies the exact record-level predicate.
 func (q *Query) matches(r *flow.Record) bool {
@@ -114,6 +159,14 @@ type ScanStats struct {
 	// records that passed the exact predicate and reached the caller.
 	RecordsScanned uint64
 	RecordsMatched uint64
+	// ColumnsDecoded and ColumnsTotal count per-block column decodes on
+	// the columnar path: every scanned (non-pruned) block contributes
+	// its column count to ColumnsTotal, and only the columns actually
+	// decoded — the predicate's columns, plus the rest when any row
+	// survives — to ColumnsDecoded. The row-decode oracle path decodes
+	// everything, so there the two are equal.
+	ColumnsDecoded uint64
+	ColumnsTotal   uint64
 }
 
 // Merge folds another scan's accounting into s — the one accumulation
@@ -127,6 +180,8 @@ func (s *ScanStats) Merge(o ScanStats) {
 	s.BlocksPruned += o.BlocksPruned
 	s.RecordsScanned += o.RecordsScanned
 	s.RecordsMatched += o.RecordsMatched
+	s.ColumnsDecoded += o.ColumnsDecoded
+	s.ColumnsTotal += o.ColumnsTotal
 }
 
 // PruneFraction is the share of visited blocks the indexes skipped.
@@ -136,6 +191,18 @@ func (s ScanStats) PruneFraction() float64 {
 		return 0
 	}
 	return float64(s.BlocksPruned) / float64(total)
+}
+
+// ColumnsDecodedFraction is the share of scanned blocks' columns the
+// lazy columnar path actually decoded — 1.0 means every column of
+// every scanned block was paid for (the row path's constant), lower
+// means predicate pushdown skipped whole columns of blocks no row
+// survived in.
+func (s ScanStats) ColumnsDecodedFraction() float64 {
+	if s.ColumnsTotal == 0 {
+		return 0
+	}
+	return float64(s.ColumnsDecoded) / float64(s.ColumnsTotal)
 }
 
 // shardBatch is one shard's sorted batch of matching records. The
@@ -324,7 +391,7 @@ func (s *Store) NewCursor(q Query) *Cursor {
 		ch := make(chan shardBatch, 2)
 		c.cursors = append(c.cursors, &shardCursor{shard: shard, ch: ch})
 		go func(shard int, segs []SegmentEntry, ch chan shardBatch) {
-			scanShard(dir, shard, segs, q, ch, c.statsCh, c.done, true)
+			scanShard(dir, shard, segs, q, ch, c.statsCh, c.done, true, s.opts.RowDecode)
 			close(ch)
 		}(shard, segs, ch)
 	}
@@ -485,7 +552,7 @@ func (s *Store) ScanBatches(q Query, emit func(*pipe.Batch) error) (ScanStats, e
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			scanShard(dir, shard, byShard[shard], q, out, statsCh, done, false)
+			scanShard(dir, shard, byShard[shard], q, out, statsCh, done, false, s.opts.RowDecode)
 		}(shard)
 	}
 	go func() {
@@ -525,7 +592,15 @@ func (s *Store) ScanBatches(q Query, emit func(*pipe.Batch) error) (ScanStats, e
 // sorted is set (the ordered Scan path; batch scans skip the sort). A
 // close of done cancels the scan: pending sends abort and no further
 // segments are decoded. The caller owns out; stats are always sent.
-func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- shardBatch, statsCh chan<- ScanStats, done <-chan struct{}, sorted bool) {
+//
+// rowDecode selects the legacy row-at-a-time decoder — kept as the
+// differential-testing oracle for the columnar path (Options.RowDecode
+// and the golden tests pin columnar == row byte-identically).
+func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- shardBatch, statsCh chan<- ScanStats, done <-chan struct{}, sorted, rowDecode bool) {
+	if !rowDecode {
+		scanShardColumnar(dir, shard, segs, q, out, statsCh, done, sorted)
+		return
+	}
 	var stats ScanStats
 	defer func() {
 		statsCh <- stats
@@ -587,6 +662,9 @@ func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- s
 				decoded := len(part) - before
 				stats.BlocksScanned++
 				stats.RecordsScanned += uint64(decoded)
+				// Row decode always pays for every column.
+				stats.ColumnsDecoded += nCols
+				stats.ColumnsTotal += nCols
 				metricBlocksScanned.Inc()
 				metricRecordsScanned.Add(uint64(decoded))
 				// Filter in place: only survivors stay for the sort.
@@ -625,6 +703,171 @@ func scanShard(dir string, shard int, segs []SegmentEntry, q Query, out chan<- s
 			}
 			stats.RecordsMatched += uint64(len(part))
 			metricRecordsMatched.Add(uint64(len(part)))
+			if !send(shardBatch{batch: slab}) {
+				slab.Release()
+				return
+			}
+		} else {
+			slab.Release()
+		}
+		i = j
+	}
+}
+
+// scanShardColumnar is the columnar scan path: each block is parsed
+// into a pooled ColumnBlock, the compiled query predicate runs against
+// only the columns it references, and survivors are copied out
+// column-wise — filtered-out rows are never materialized, and blocks
+// with no survivors never decode their remaining columns. Unsorted
+// scans emit columnar batches (pipe.Batch.Cols); the sorted path
+// materializes survivors into records for the k-way merge, which
+// needs whole flow.Records anyway.
+func scanShardColumnar(dir string, shard int, segs []SegmentEntry, q Query, out chan<- shardBatch, statsCh chan<- ScanStats, done <-chan struct{}, sorted bool) {
+	var stats ScanStats
+	defer func() {
+		statsCh <- stats
+	}()
+	send := func(b shardBatch) bool {
+		select {
+		case out <- b:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	pred := compilePredicate(&q)
+	// The survivor decode set: the caller's projection (everything when
+	// unset), ignored on the sorted path, which materializes full
+	// records. Predicate columns decode separately in applyQuery.
+	proj := q.Project
+	if proj == 0 || sorted {
+		proj = AllColumns
+	}
+	// One pooled block per scanner, recycled across every block,
+	// segment, and partition of the shard — and, through the shared
+	// pool, across scans and vantage stores.
+	cb := getColumnBlock()
+	defer cb.Release()
+	shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", shard))
+	for i := 0; i < len(segs); {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		j := i + 1
+		for j < len(segs) && segs[j].PartitionSec == segs[i].PartitionSec {
+			j++
+		}
+		var slab *pipe.Batch
+		if sorted {
+			slab = pipe.NewBatch()
+		} else {
+			slab = pipe.NewColsBatch()
+		}
+		// part accumulates sorted-mode survivors; it aliases the
+		// sorted slab's Recs and is meaningless in unsorted mode
+		// (where slabs are columnar and re-made at each flush).
+		part := slab.Recs
+		fail := func(r *segmentReader, err error) {
+			if r != nil {
+				r.close()
+			}
+			if sorted {
+				slab.Recs = part
+			}
+			slab.Release()
+			send(shardBatch{err: err})
+		}
+		// flushSlab emits the pending columnar slab and starts a fresh
+		// one; false means the scan was cancelled.
+		flushSlab := func() bool {
+			matched := slab.Cols.Len()
+			if matched == 0 {
+				return true
+			}
+			stats.RecordsMatched += uint64(matched)
+			metricRecordsMatched.Add(uint64(matched))
+			if !send(shardBatch{batch: slab}) {
+				slab.Release()
+				return false
+			}
+			slab = pipe.NewColsBatch()
+			return true
+		}
+		for _, e := range segs[i:j] {
+			stats.SegmentsScanned++
+			r, err := openSegmentReaderPrefetch(filepath.Join(shardDir, e.File))
+			if err != nil {
+				fail(nil, err)
+				return
+			}
+			for {
+				pruned, err := r.nextBlockColumnar(&q, cb)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					fail(r, err)
+					return
+				}
+				if pruned {
+					stats.BlocksPruned++
+					metricBlocksPruned.Inc()
+					continue
+				}
+				stats.BlocksScanned++
+				stats.RecordsScanned += uint64(cb.count)
+				stats.ColumnsTotal += nCols
+				metricBlocksScanned.Inc()
+				metricRecordsScanned.Add(uint64(cb.count))
+				if err := cb.applyQuery(&pred); err != nil {
+					fail(r, err)
+					return
+				}
+				if cb.selCount > 0 {
+					if err := cb.decodeSet(proj); err != nil {
+						fail(r, err)
+						return
+					}
+					switch {
+					case sorted:
+						part = cb.materializeSelected(part)
+					case cb.selCount == cb.count:
+						// Every row survived: ship the decoded columns
+						// whole (flushing any partial slab first) and
+						// adopt the fresh slab's buffers — a swap of
+						// slice headers instead of a 17-column copy.
+						if !flushSlab() {
+							r.close()
+							return
+						}
+						cb.Cols, *slab.Cols = *slab.Cols, cb.Cols
+					default:
+						cb.appendSelected(slab.Cols)
+					}
+				}
+				stats.ColumnsDecoded += uint64(cb.decodedCount)
+				if !sorted && slab.Cols.Len() >= pipe.DefaultBatchSize {
+					if !flushSlab() {
+						r.close()
+						return
+					}
+				}
+			}
+			r.close()
+		}
+		if sorted {
+			slab.Recs = part
+		}
+		if slab.Len() > 0 {
+			if sorted {
+				// Stable: equal timestamps keep ingest order, the
+				// tertiary key of the deterministic merge order.
+				sort.SliceStable(part, func(a, b int) bool { return part[a].Start.Before(part[b].Start) })
+			}
+			stats.RecordsMatched += uint64(slab.Len())
+			metricRecordsMatched.Add(uint64(slab.Len()))
 			if !send(shardBatch{batch: slab}) {
 				slab.Release()
 				return

@@ -54,8 +54,8 @@ func TestScanBatchesMatchesScan(t *testing.T) {
 	gotStats, err := s.ScanBatches(q, func(b *pipe.Batch) error {
 		defer b.Release()
 		batches++
-		for i := range b.Recs {
-			got[recordKey(&b.Recs[i])]++
+		for i := range b.Records() {
+			got[recordKey(&b.Records()[i])]++
 		}
 		return nil
 	})

@@ -10,6 +10,7 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"booterscope/internal/flow"
@@ -359,11 +360,22 @@ func InspectSegment(path string) ([]BlockInfo, error) {
 }
 
 // segmentReader iterates the matching blocks of one on-disk segment.
+// With data non-nil the whole segment was prefetched into a pooled
+// buffer and block reads are slice operations; otherwise each block is
+// read positionally from the file.
 type segmentReader struct {
 	f    *os.File
 	size int64
 	off  int64
+	data []byte  // whole-file prefetch; nil for positional readers
+	bufp *[]byte // pool slot backing data, returned on close
 }
+
+// segBufPool recycles whole-segment prefetch buffers across segments
+// and scans. Buffers grow to the largest segment seen (a few MB at the
+// default geometry) and there are at most a handful in flight — one
+// per concurrently scanned shard.
+var segBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 func openSegmentReader(path string) (*segmentReader, error) {
 	f, err := os.Open(path)
@@ -383,7 +395,55 @@ func openSegmentReader(path string) (*segmentReader, error) {
 	return &segmentReader{f: f, size: st.Size(), off: int64(len(segMagic))}, nil
 }
 
-func (r *segmentReader) close() { r.f.Close() }
+// openSegmentReaderPrefetch reads the entire segment into a pooled
+// buffer with one read syscall and iterates blocks as slices of it —
+// the columnar scan path uses this so a full-archive scan costs one
+// syscall per segment instead of three per block. Views handed out by
+// nextBlockColumnar point into the buffer and are valid until close.
+func openSegmentReaderPrefetch(path string) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagic)) {
+		return nil, fmt.Errorf("flowstore: %s: bad segment magic", path)
+	}
+	bufp := segBufPool.Get().(*[]byte)
+	buf := *bufp
+	if int64(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		*bufp = buf[:0]
+		segBufPool.Put(bufp)
+		return nil, fmt.Errorf("flowstore: reading %s: %w", path, err)
+	}
+	if [8]byte(buf[:8]) != segMagic {
+		*bufp = buf[:0]
+		segBufPool.Put(bufp)
+		return nil, fmt.Errorf("flowstore: %s: bad segment magic", path)
+	}
+	*bufp = buf
+	return &segmentReader{size: size, off: int64(len(segMagic)), data: buf, bufp: bufp}, nil
+}
+
+func (r *segmentReader) close() {
+	if r.f != nil {
+		r.f.Close()
+	}
+	if r.bufp != nil {
+		*r.bufp = r.data[:0]
+		segBufPool.Put(r.bufp)
+		r.data, r.bufp = nil, nil
+	}
+}
 
 // nextBlock reads the next frame's index; when the query prunes the
 // block, the payload is skipped without being read. Returns nil records
@@ -423,4 +483,72 @@ func (r *segmentReader) nextBlock(q *Query, recs []flow.Record) ([]flow.Record, 
 	}
 	r.off += frameHeadLen + frameLen
 	return recs, &ix, nil
+}
+
+// nextBlockColumnar is nextBlock's columnar counterpart: the frame is
+// read into cb's reusable scratch buffers (no per-block allocation)
+// and only parsed into column views — decoding is left to the caller's
+// pushed-down predicate. Pruned blocks skip the payload read entirely
+// and report pruned=true with cb left empty. Returns io.EOF at the end
+// of the segment.
+func (r *segmentReader) nextBlockColumnar(q *Query, cb *ColumnBlock) (pruned bool, err error) {
+	if r.off >= r.size {
+		return false, io.EOF
+	}
+	var head [frameHeadLen]byte
+	if r.data != nil {
+		copy(head[:], r.data[r.off:])
+	} else if _, err := r.f.ReadAt(head[:], r.off); err != nil {
+		return false, fmt.Errorf("flowstore: reading frame header: %w", err)
+	}
+	frameLen := int64(binary.BigEndian.Uint32(head[0:4]))
+	if frameLen < blockIndexLen || r.off+frameHeadLen+frameLen > r.size {
+		return false, fmt.Errorf("flowstore: %w at offset %d (unrecovered segment?)", errTornFrame, r.off)
+	}
+	var ixb []byte
+	if r.data != nil {
+		ixb = r.data[r.off+frameHeadLen : r.off+frameHeadLen+blockIndexLen]
+	} else {
+		if cap(cb.ixb) < blockIndexLen {
+			cb.ixb = make([]byte, blockIndexLen)
+		}
+		cb.ixb = cb.ixb[:blockIndexLen]
+		if _, err := r.f.ReadAt(cb.ixb, r.off+frameHeadLen); err != nil {
+			return false, err
+		}
+		ixb = cb.ixb
+	}
+	ix, err := unmarshalIndex(ixb)
+	if err != nil {
+		return false, err
+	}
+	if ix.prunable(q) {
+		r.off += frameHeadLen + frameLen
+		cb.reset()
+		return true, nil
+	}
+	plen := int(frameLen - blockIndexLen)
+	var payload []byte
+	if r.data != nil {
+		// Zero-copy view into the prefetched segment: valid until the
+		// reader closes, and cb only reads it during load and column
+		// decode — the decoded columns it hands onward are cb-owned.
+		payload = r.data[r.off+frameHeadLen+blockIndexLen : r.off+frameHeadLen+frameLen]
+	} else {
+		if cap(cb.payload) < plen {
+			cb.payload = make([]byte, plen)
+		}
+		cb.payload = cb.payload[:plen]
+		payload = cb.payload
+	}
+	if r.data == nil {
+		if _, err := r.f.ReadAt(payload, r.off+frameHeadLen+blockIndexLen); err != nil {
+			return false, err
+		}
+	}
+	if err := cb.load(payload, int(ix.Records)); err != nil {
+		return false, err
+	}
+	r.off += frameHeadLen + frameLen
+	return false, nil
 }

@@ -54,6 +54,20 @@ type FanOut struct {
 	wg      sync.WaitGroup
 	inline  bool
 
+	// colKey and colMarkIf are the columnar counterparts of key and
+	// markIf. When the incoming batch is columnar and the needed
+	// columnar predicates are set, routing reads the column vectors
+	// directly and the records are never materialized; otherwise the
+	// fan-out falls back to materializing the batch and running the row
+	// loop — an unported caller loses speed, never records.
+	colKey    func(*flow.Columns, int) uint64
+	colMarkIf func(*flow.Columns, int) bool
+	// colIdx and colMarks are routeCols's per-batch gather scratch
+	// (per-shard row indices; sequential watermark stamps), reused
+	// across batches.
+	colIdx   [][]int32
+	colMarks []int64
+
 	watermark int64
 	markIf    func(*flow.Record) bool
 	seq       uint64
@@ -156,30 +170,49 @@ func (f *FanOut) err() error {
 // Process routes one incoming batch. The caller keeps ownership of b;
 // records are copied into per-shard slabs. Returns the first worker
 // error as soon as any shard has failed, which aborts the source.
+//
+// Columnar batches route column-wise when SetColKey is configured (and
+// SetColMarkFilter, if a mark filter is set); otherwise the batch is
+// materialized and routed row-wise.
 func (f *FanOut) Process(b *Batch) error {
 	if f.failed.Load() {
 		return f.err()
 	}
-	f.routed = f.routed || len(b.Recs) > 0
+	f.routed = f.routed || b.Len() > 0
+	stamp := f.markIf != nil
+	if b.Cols != nil && f.colKey != nil && (!stamp || f.colMarkIf != nil) {
+		return f.routeCols(b.Cols)
+	}
+	return f.routeRows(b.Records())
+}
+
+// routeRows is the row routing loop. Pending slabs keep whatever shape
+// their first append gave them — a record landing on a column-shaped
+// slab is appended column-wise, never mixed in as a row.
+func (f *FanOut) routeRows(recs []flow.Record) error {
 	n := uint64(len(f.shards))
 	stamp := f.markIf != nil
-	for i := range b.Recs {
-		r := &b.Recs[i]
+	for i := range recs {
+		r := &recs[i]
 		s := 0
 		if n > 1 {
 			s = int(f.key(r) % n)
 		}
 		p := f.pending[s]
-		if stamp {
-			if f.markIf(r) {
-				if ts := r.Start.Unix(); ts > f.watermark {
-					f.watermark = ts
-				}
+		if stamp && f.markIf(r) {
+			if ts := r.Start.Unix(); ts > f.watermark {
+				f.watermark = ts
 			}
-			p.appendRec(r, f.watermark, f.seq)
-			f.seq++
+		}
+		if p.Cols != nil {
+			p.Cols.AppendRecord(r)
 		} else {
 			p.Recs = append(p.Recs, *r)
+		}
+		if stamp {
+			p.Marks = append(p.Marks, f.watermark)
+			p.Seqs = append(p.Seqs, f.seq)
+			f.seq++
 		}
 		if p.Len() >= DefaultBatchSize {
 			if err := f.flush(s); err != nil {
@@ -187,7 +220,93 @@ func (f *FanOut) Process(b *Batch) error {
 			}
 		}
 	}
-	metricRecordsRouted.Add(uint64(len(b.Recs)))
+	metricRecordsRouted.Add(uint64(len(recs)))
+	return nil
+}
+
+// routeCols is the columnar routing loop: shard keys and watermark
+// advancement read the column vectors directly, and routed rows are
+// gathered column-to-column into the shard's pending slab. No
+// flow.Record is built anywhere on this path.
+//
+// The loop runs as scatter/gather: one pass computes each row's shard
+// (and, when stamping, the same sequential prefix-max watermark and
+// sequence stamps the row loop produces), then each shard's rows are
+// bulk-appended with Columns.AppendIndexed — 17 tight per-column loops
+// per shard per batch instead of 17 slice appends per record. Pending
+// slabs flush after the batch, so they can briefly exceed
+// DefaultBatchSize; stages are batch-size agnostic by contract.
+func (f *FanOut) routeCols(c *flow.Columns) error {
+	m := c.Len()
+	if m == 0 {
+		return nil
+	}
+	n := uint64(len(f.shards))
+	stamp := f.markIf != nil
+	if f.colIdx == nil {
+		f.colIdx = make([][]int32, len(f.shards))
+	}
+	idx := f.colIdx
+	for s := range idx {
+		idx[s] = idx[s][:0]
+	}
+	if n > 1 {
+		for i := 0; i < m; i++ {
+			s := f.colKey(c, i) % n
+			idx[s] = append(idx[s], int32(i))
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			idx[0] = append(idx[0], int32(i))
+		}
+	}
+	var marks []int64
+	seq0 := f.seq
+	if stamp {
+		if cap(f.colMarks) < m {
+			f.colMarks = make([]int64, m)
+		}
+		marks = f.colMarks[:m]
+		w := f.watermark
+		for i := 0; i < m; i++ {
+			if f.colMarkIf(c, i) {
+				if ts := c.StartSec[i]; ts > w {
+					w = ts
+				}
+			}
+			marks[i] = w
+		}
+		f.watermark = w
+		f.seq += uint64(m)
+	}
+	for s := range f.shards {
+		rows := idx[s]
+		if len(rows) == 0 {
+			continue
+		}
+		p := f.pending[s]
+		if p.Cols == nil && len(p.Recs) > 0 {
+			// Row-shaped slab (from an earlier row batch): convert per
+			// record rather than mixing shapes.
+			for _, i := range rows {
+				p.Recs = append(p.Recs, c.Record(int(i)))
+			}
+		} else {
+			p.EnsureCols().AppendIndexed(c, rows)
+		}
+		if stamp {
+			for _, i := range rows {
+				p.Marks = append(p.Marks, marks[i])
+				p.Seqs = append(p.Seqs, seq0+uint64(i))
+			}
+		}
+		if p.Len() >= DefaultBatchSize {
+			if err := f.flush(s); err != nil {
+				return err
+			}
+		}
+	}
+	metricRecordsRouted.Add(uint64(m))
 	return nil
 }
 
@@ -336,10 +455,44 @@ func (f *FanOut) SetMarkFilter(pred func(*flow.Record) bool) {
 	f.markIf = pred
 }
 
+// SetColKey enables columnar routing: for columnar batches, key hashes
+// row i of the slab without materializing a record. It must agree with
+// the row key function for every record (pipe.KeyDstCols pairs with
+// pipe.KeyDst), or parallel and serial runs diverge. Must be called
+// before the first Process.
+func (f *FanOut) SetColKey(key func(*flow.Columns, int) uint64) {
+	if f.routed {
+		panic("pipe: SetColKey after records were routed")
+	}
+	f.colKey = key
+}
+
+// SetColMarkFilter is SetMarkFilter's columnar counterpart. When a
+// mark filter is set, columnar routing additionally requires this
+// predicate (agreeing with the row predicate row-for-row) — without it
+// the fan-out materializes batches and stamps through the row loop.
+// Must be called before the first Process.
+func (f *FanOut) SetColMarkFilter(pred func(*flow.Columns, int) bool) {
+	if f.routed {
+		panic("pipe: SetColMarkFilter after records were routed")
+	}
+	f.colMarkIf = pred
+}
+
 // RunSharded drives src through a fan-out over shards and returns the
 // first error. Equivalent to Run(src, NewFanOut(key, shards...)).
 func RunSharded(src Source, key func(*flow.Record) uint64, shards ...Stage) error {
 	return Run(src, NewFanOut(key, shards...))
+}
+
+// RunShardedCols is RunSharded with a columnar routing key alongside
+// the row key, so columnar batches from the source route without
+// materializing records. The two keys must agree row-for-row.
+func RunShardedCols(src Source, key func(*flow.Record) uint64,
+	colKey func(*flow.Columns, int) uint64, shards ...Stage) error {
+	f := NewFanOut(key, shards...)
+	f.SetColKey(colKey)
+	return Run(src, f)
 }
 
 // Parallelism normalizes a -parallelism flag value: n >= 1 is used as

@@ -36,6 +36,7 @@ package pipe
 
 import (
 	"encoding/binary"
+	"math/bits"
 	"sync"
 
 	"booterscope/internal/flow"
@@ -48,10 +49,23 @@ const DefaultBatchSize = 4096
 
 // Batch is a reusable slab of flow records moving through the
 // pipeline, with optional per-record sidecars stamped by FanOut.
+//
+// A batch carries its records in exactly one of two shapes: row form
+// (Recs, the original representation) or columnar form (Cols, the
+// structure-of-arrays slab the flowstore scan emits). The shapes are
+// not mixed — when Cols is non-nil it is the source of truth and Recs
+// is only the lazy materialization cache Records() fills on first
+// demand, so stages that read columns directly never pay for record
+// structs at all.
 type Batch struct {
 	// Recs are the records; consumers iterate Recs[i] by index and must
-	// not retain pointers into the slice past Process.
+	// not retain pointers into the slice past Process. For a columnar
+	// batch, Recs is empty until Records() materializes it.
 	Recs []flow.Record
+	// Cols, when non-nil, holds the batch's records in columnar form.
+	// Consumers must not retain Cols or any of its column slices past
+	// Process — Release recycles the slab.
+	Cols *flow.Columns
 	// Marks, when non-nil, holds one watermark per record: the maximum
 	// record start time (unix seconds) over every record the fan-out
 	// routed up to and including this one, across all shards.
@@ -67,11 +81,33 @@ var batchPool = sync.Pool{
 	},
 }
 
-// NewBatch returns an empty batch from the pool.
+// colsPool recycles columnar slabs independently of batches, so row
+// batches never carry 17 unused column arrays.
+var colsPool = sync.Pool{New: func() any { return new(flow.Columns) }}
+
+// NewBatch returns an empty row batch from the pool.
 func NewBatch() *Batch {
 	b := batchPool.Get().(*Batch)
 	metricBatchesInFlight.Add(1)
 	return b
+}
+
+// NewColsBatch returns an empty columnar batch from the pool: Cols is
+// attached (and recycled on Release), Recs stays empty until a
+// consumer demands records.
+func NewColsBatch() *Batch {
+	b := NewBatch()
+	b.Cols = colsPool.Get().(*flow.Columns)
+	return b
+}
+
+// EnsureCols attaches (or returns) the batch's columnar slab —
+// producers appending column-wise call this once per batch.
+func (b *Batch) EnsureCols() *flow.Columns {
+	if b.Cols == nil {
+		b.Cols = colsPool.Get().(*flow.Columns)
+	}
+	return b.Cols
 }
 
 // Wrap adopts an existing record slice as a batch without copying.
@@ -85,12 +121,36 @@ func Wrap(recs []flow.Record) *Batch {
 }
 
 // Len reports the record count.
-func (b *Batch) Len() int { return len(b.Recs) }
+func (b *Batch) Len() int {
+	if b.Cols != nil {
+		return b.Cols.Len()
+	}
+	return len(b.Recs)
+}
+
+// Records returns the batch's records in row form, materializing them
+// from the columnar slab on first call (cached for the batch's
+// lifetime). Stages that need whole flow.Records call this; stages
+// ported to read b.Cols directly skip the copy entirely — that skip is
+// the lazy-materialization win of the columnar hot path.
+func (b *Batch) Records() []flow.Record {
+	if b.Cols != nil && len(b.Recs) == 0 && b.Cols.Len() > 0 {
+		b.Recs = b.Cols.MaterializeAppend(b.Recs)
+	}
+	return b.Recs
+}
 
 // Release resets the batch and returns it to the pool. The batch and
-// its slices must not be used afterwards.
+// its slices must not be used afterwards. A columnar slab goes back to
+// its own pool, so pooled batches are always row-shaped until a
+// producer attaches columns again.
 func (b *Batch) Release() {
 	b.Recs = b.Recs[:0]
+	if b.Cols != nil {
+		b.Cols.Reset()
+		colsPool.Put(b.Cols)
+		b.Cols = nil
+	}
 	b.Marks = b.Marks[:0]
 	b.Seqs = b.Seqs[:0]
 	metricBatchesInFlight.Add(-1)
@@ -100,6 +160,13 @@ func (b *Batch) Release() {
 // appendRec appends one record with its sidecars.
 func (b *Batch) appendRec(r *flow.Record, mark int64, seq uint64) {
 	b.Recs = append(b.Recs, *r)
+	b.Marks = append(b.Marks, mark)
+	b.Seqs = append(b.Seqs, seq)
+}
+
+// appendColRec appends row i of c column-wise with its sidecars.
+func (b *Batch) appendColRec(c *flow.Columns, i int, mark int64, seq uint64) {
+	b.EnsureCols().AppendFrom(c, i)
 	b.Marks = append(b.Marks, mark)
 	b.Seqs = append(b.Seqs, seq)
 }
@@ -231,6 +298,23 @@ func KeyDst(r *flow.Record) uint64 {
 // the live fan-out applies.
 func KeyDstAddr(a [16]byte) uint64 {
 	return fnv1aAddr(fnvOffset64, a)
+}
+
+// KeyDstCols is KeyDst evaluated directly against a columnar slab —
+// the fan-out's columnar routing path hashes the raw address halves
+// without materializing a record or a 16-byte array: fnv1aAddr reads
+// the address little-endian while the halves are big-endian words, so
+// a byte swap per half reproduces KeyDst bit-exactly for every address
+// shape (including invalid addresses, whose halves and As16 are both
+// zero). The columnar fan-out golden pins the equality.
+func KeyDstCols(c *flow.Columns, i int) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(fnvOffset64)
+	h ^= bits.ReverseBytes64(c.DstHi[i])
+	h *= prime64
+	h ^= bits.ReverseBytes64(c.DstLo[i])
+	h *= prime64
+	return h
 }
 
 // KeyFlow routes records by the full 5-tuple — for stages keyed on

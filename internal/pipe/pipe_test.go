@@ -64,12 +64,13 @@ type collectStage struct {
 func (c *collectStage) Process(b *Batch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i := range b.Recs {
+	recs := b.Records() // materializes columnar batches
+	for i := range recs {
 		if c.failAfter > 0 && c.seen >= c.failAfter {
 			return errors.New("stage failed")
 		}
 		c.seen++
-		c.dsts = append(c.dsts, b.Recs[i].Dst)
+		c.dsts = append(c.dsts, recs[i].Dst)
 		if i < len(b.Seqs) {
 			c.seqs = append(c.seqs, b.Seqs[i])
 		}

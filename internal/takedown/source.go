@@ -29,8 +29,9 @@ type Source func(emit func(*pipe.Batch) error) error
 func (s Source) Records(fn func(*flow.Record) error) error {
 	return s(func(b *pipe.Batch) error {
 		defer b.Release()
-		for i := range b.Recs {
-			if err := fn(&b.Recs[i]); err != nil {
+		recs := b.Records()
+		for i := range recs {
+			if err := fn(&recs[i]); err != nil {
 				return err
 			}
 		}
@@ -100,6 +101,16 @@ func WindowOf(cfg trafficgen.Config) Window {
 func (w Window) DayTime(t time.Time) time.Time {
 	const day = 24 * time.Hour
 	return w.Start.Add(t.Sub(w.Start) / day * day)
+}
+
+// DayTimeSec is DayTime from whole seconds only. For records at or
+// after the (whole-second) window start, sub-second precision cannot
+// move the day bin — the distance to the next day boundary is always a
+// whole number of seconds — so columnar consumers can bin on the start
+// seconds column and skip decoding nanoseconds.
+func (w Window) DayTimeSec(sec int64) time.Time {
+	const day = 24 * time.Hour
+	return w.Start.Add(time.Unix(sec, 0).Sub(w.Start) / day * day)
 }
 
 // DayTimes enumerates the window's day grid.

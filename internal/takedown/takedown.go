@@ -76,7 +76,7 @@ func runSharded(src Source, par int, mk func() pipe.Stage) error {
 	for i := range stages {
 		stages[i] = mk()
 	}
-	return pipe.RunSharded(pipe.Source(src), pipe.KeyDst, stages...)
+	return pipe.RunShardedCols(pipe.Source(src), pipe.KeyDst, pipe.KeyDstCols, stages...)
 }
 
 // newVectorSeries allocates one daily series per reflector vector.
@@ -112,8 +112,23 @@ func newTriggerStage(w Window, into map[amplify.Vector]*timeseries.Series) *trig
 	return t
 }
 
-// Process implements pipe.Stage.
+// Process implements pipe.Stage. Columnar batches aggregate straight
+// from the port/proto columns; no record is materialized.
 func (t *triggerStage) Process(b *pipe.Batch) error {
+	if c := b.Cols; c != nil {
+		for i, n := 0, c.Len(); i < n; i++ {
+			if c.Proto[i] != packet.IPProtoUDP {
+				continue
+			}
+			for j, p := range t.ports {
+				if c.DstPort[i] == p {
+					t.byPort[j].Add(t.w.DayTimeSec(c.StartSec[i]), float64(c.ScaledPackets(i)))
+					break
+				}
+			}
+		}
+		return nil
+	}
 	for i := range b.Recs {
 		rec := &b.Recs[i]
 		if rec.Protocol != packet.IPProtoUDP {
@@ -149,6 +164,12 @@ func newCounterStage(into *classify.AttackCounter) *counterStage {
 
 // Process implements pipe.Stage.
 func (c *counterStage) Process(b *pipe.Batch) error {
+	if cols := b.Cols; cols != nil {
+		for i, n := 0, cols.Len(); i < n; i++ {
+			c.counter.AddCols(cols, i)
+		}
+		return nil
+	}
 	for i := range b.Recs {
 		c.counter.Add(&b.Recs[i])
 	}
@@ -378,6 +399,15 @@ func newDirectionStage(w Window, v amplify.Vector, into map[flow.Direction]*time
 
 // Process implements pipe.Stage.
 func (d *directionStage) Process(b *pipe.Batch) error {
+	if c := b.Cols; c != nil {
+		port := d.v.Port()
+		for i, n := 0, c.Len(); i < n; i++ {
+			if c.Proto[i] == packet.IPProtoUDP && c.DstPort[i] == port {
+				d.series[c.Direction(i)].Add(d.w.DayTime(c.Start(i)), float64(c.ScaledPackets(i)))
+			}
+		}
+		return nil
+	}
 	for i := range b.Recs {
 		rec := &b.Recs[i]
 		if rec.Protocol == packet.IPProtoUDP && rec.DstPort == d.v.Port() {
