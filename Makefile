@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation columnar-oracle bench bench-smoke demo demo-lossy
+.PHONY: build test check check-noanalyze race lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline federation columnar-oracle bench bench-smoke demo demo-lossy
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ check: lint analyze crash-recovery checkpoint-chaos incident-chaos race-pipeline
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
 
+# check-noanalyze is the CI split of check: everything except the
+# bsvet suite, which check.yml runs as its own parallel job with its
+# own build cache and a diagnostics artifact on failure. Local runs
+# should use plain `make check`.
+check-noanalyze: lint crash-recovery checkpoint-chaos incident-chaos race-pipeline federation columnar-oracle
+	$(GO) vet ./...
+	$(GO) test -race -shuffle=on ./...
+
 # columnar-oracle pins the columnar hot path to the retained row
 # decoder: pushed-down filtering must select exactly the rows the row
 # decoder keeps, and a full scan→classify replay on the columnar path
@@ -37,10 +45,14 @@ columnar-oracle:
 # (cmd/bsvet): determinism (no wall-clock or global-rand reads in
 # simulation packages), batchownership (no use of a pipe.Batch after
 # hand-off), telemetry (registry registration, metric-name prefixes,
-# label-cardinality caps). Diagnostics come out in the standard vet
-# file:line:col format and any finding fails the build.
+# label-cardinality caps), lockdiscipline (//bsvet:guards mutex
+# invariants), goroutinelifecycle (every goroutine in a long-running
+# package has a shutdown path), and hotpath (//bsvet:hotpath functions
+# stay allocation-free per -gcflags=-m=2, modulo the checked-in
+# budget). Diagnostics come out in the standard vet file:line:col
+# format and any finding fails the build.
 analyze:
-	$(GO) run ./cmd/bsvet ./...
+	$(GO) run ./cmd/bsvet -hotpath.budget analysis/hotpath_budget.json -timings ./...
 
 # race-pipeline drives the fan-out/merge machinery and the sharded
 # classifier under the race detector with the test cache defeated, so

@@ -3,7 +3,7 @@
 // standard vet format (file:line:col: rule: message), exiting nonzero
 // when anything is found. `make analyze` wires it into `make check`.
 //
-// Three analyzers run:
+// Six analyzers run:
 //
 //   - determinism: no wall-clock reads (time.Now/Since/Until), no
 //     process-global math/rand draws, and no map-iteration feeding
@@ -18,11 +18,26 @@
 //     packages register telemetry, metric names carry the owning
 //     component's prefix, label cardinality stays capped. This is the
 //     type-aware replacement for the retired scripts/lint-telemetry.sh.
+//   - lockdiscipline: struct fields annotated `//bsvet:guards <mutex>`
+//     are only touched while that mutex is held (Lock, RLock for
+//     reads, or a *Locked-suffixed helper), and never also accessed
+//     through sync/atomic.
+//   - goroutinelifecycle: every `go` statement in the long-running
+//     packages has a visible shutdown path — a channel/context
+//     argument, a lifecycle construct in its body, or an explicit
+//     allow directive. This makes the daemon's drain semantics
+//     mechanical.
+//   - hotpath: functions annotated `//bsvet:hotpath` stay
+//     allocation-free per the compiler's own escape analysis
+//     (-gcflags=-m=2), modulo the justified entries in
+//     analysis/hotpath_budget.json.
 //
-// Usage: bsvet [packages]   (defaults to ./...)
+// Usage: bsvet [-hotpath.budget file] [-timings] [packages]
+// (packages default to ./...)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -72,6 +87,20 @@ var deterministicPackages = []string{
 	"booterscope/internal/timeseries",
 	"booterscope/internal/trafficgen",
 	"booterscope/internal/webobs",
+}
+
+// lifecyclePackages are the long-running packages where every spawned
+// goroutine must have a reachable shutdown path (DESIGN.md §15): the
+// daemon itself, the batch pipeline, the federated query plane, the
+// wire-protocol endpoints, the flow archive, and the debug server.
+// One-shot cmd binaries and test-support packages may fire and forget.
+var lifecyclePackages = []string{
+	"booterscope/internal/service",
+	"booterscope/internal/pipe",
+	"booterscope/internal/federation",
+	"booterscope/internal/ipfix",
+	"booterscope/internal/flowstore",
+	"booterscope/internal/telemetry/debugserver",
 }
 
 // telemetryConfig is the repo's registry policy, ported from the
@@ -128,11 +157,27 @@ var telemetryConfig = analysis.TelemetryConfig{
 }
 
 func main() {
-	patterns := os.Args[1:]
+	budgetPath := flag.String("hotpath.budget", "", "path to the hotpath escape budget JSON (empty: no budget, every escape is a finding)")
+	timings := flag.Bool("timings", false, "print per-analyzer wall time in the run summary")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load("", patterns...)
+
+	var budget *analysis.Budget
+	if *budgetPath != "" {
+		var err error
+		budget, err = analysis.LoadBudget(*budgetPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	// One loader for the whole run: the go list resolution and the
+	// type-check of each package are shared by all six analyzers.
+	pkgs, err := analysis.NewLoader().Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bsvet: %v\n", err)
 		os.Exit(2)
@@ -141,10 +186,19 @@ func main() {
 		analysis.NewDeterminism(deterministicPackages...),
 		analysis.NewBatchOwnership(),
 		analysis.NewTelemetry(telemetryConfig),
+		analysis.NewLockDiscipline(),
+		analysis.NewGoroutineLifecycle(lifecyclePackages...),
+		analysis.NewHotPath(budget),
 	)
 	diags := suite.Run(pkgs)
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
+	}
+	if *timings {
+		for _, t := range suite.Timings() {
+			fmt.Fprintf(os.Stderr, "bsvet: %-20s %8.1fms  %d finding(s)\n",
+				t.Rule, float64(t.Elapsed.Microseconds())/1000, t.Findings)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "bsvet: %d finding(s)\n", len(diags))

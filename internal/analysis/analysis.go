@@ -11,8 +11,10 @@
 //
 // The suite is stdlib-only (go/parser + go/types, with dependency
 // export data located via `go list -export`), so go.mod stays free of
-// module dependencies. Three analyzers ship today: determinism,
-// batchownership, and telemetry — see their files for the exact rules.
+// module dependencies. Six analyzers ship today: determinism,
+// batchownership, telemetry, lockdiscipline, goroutinelifecycle, and
+// hotpath — see their files for the exact rules, and DESIGN.md §10/§15
+// for the catalogue.
 //
 // # Allow directives
 //
@@ -34,6 +36,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding, positioned for the standard vet output
@@ -64,6 +67,17 @@ type Analyzer interface {
 // allow directives.
 type Suite struct {
 	Analyzers []Analyzer
+
+	// timings accumulates per-analyzer wall time across Run calls, in
+	// Analyzers order; the driver reports it in the run summary.
+	timings []Timing
+}
+
+// Timing is one analyzer's share of a suite run.
+type Timing struct {
+	Rule     string
+	Elapsed  time.Duration
+	Findings int
 }
 
 // NewSuite builds a suite over the given analyzers.
@@ -86,6 +100,12 @@ func (s *Suite) rules() map[string]bool {
 // "directive" rule.
 func (s *Suite) Run(pkgs []*Pkg) []Diagnostic {
 	rules := s.rules()
+	if s.timings == nil {
+		s.timings = make([]Timing, len(s.Analyzers))
+		for i, a := range s.Analyzers {
+			s.timings[i].Rule = a.Name()
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		if len(pkg.Errs) > 0 {
@@ -94,12 +114,15 @@ func (s *Suite) Run(pkgs []*Pkg) []Diagnostic {
 		}
 		dirs, derrs := collectDirectives(pkg, rules)
 		out = append(out, derrs...)
-		for _, a := range s.Analyzers {
+		for i, a := range s.Analyzers {
+			start := time.Now()
 			for _, d := range a.Check(pkg) {
 				if !dirs.allows(d) {
 					out = append(out, d)
+					s.timings[i].Findings++
 				}
 			}
+			s.timings[i].Elapsed += time.Since(start)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -115,6 +138,14 @@ func (s *Suite) Run(pkgs []*Pkg) []Diagnostic {
 		}
 		return out[i].Rule < out[j].Rule
 	})
+	return out
+}
+
+// Timings reports the per-analyzer wall time and surviving-finding
+// count accumulated over every Run call so far, in Analyzers order.
+func (s *Suite) Timings() []Timing {
+	out := make([]Timing, len(s.timings))
+	copy(out, s.timings)
 	return out
 }
 

@@ -196,6 +196,185 @@ func TestEventlogRegistrationGolden(t *testing.T) {
 	runGolden(t, suite, "evlognoreg")
 }
 
+func TestLockDisciplineGolden(t *testing.T) {
+	suite := NewSuite(NewLockDiscipline())
+	runGolden(t, suite, "lockdisc")
+}
+
+func TestGoroutineLifecycleGolden(t *testing.T) {
+	suite := NewSuite(NewGoroutineLifecycle())
+	runGolden(t, suite, "golife")
+}
+
+// TestGoroutineLifecycleScoped pins the package scoping: the same
+// seeded violations stay silent when the analyzer is configured for a
+// different package list, the way cmd/bsvet scopes it to the
+// long-running packages.
+func TestGoroutineLifecycleScoped(t *testing.T) {
+	pkg := loadTestdata(t, "golife")
+	suite := NewSuite(NewGoroutineLifecycle("booterscope/internal/service"))
+	if diags := suite.Run([]*Pkg{pkg}); len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics, want 0: %v", len(diags), diags[0])
+	}
+}
+
+func TestHotPathGolden(t *testing.T) {
+	suite := NewSuite(NewHotPath(&Budget{Entries: []BudgetEntry{{
+		Pkg:    testdataPath("hotpath"),
+		Func:   "Budgeted",
+		Value:  "new(int)",
+		Reason: "seeded budget entry: the golden test pins that budgeted escapes stay silent",
+	}}}))
+	runGolden(t, suite, "hotpath")
+}
+
+// TestHotPathInjectedEscape is the end-to-end driver contract: writing
+// a new allocation into an annotated function makes the analyzer fail
+// with a diagnostic positioned at the escape and naming the escaping
+// value. The injected package is generated under testdata at run time
+// (it must live inside the module for go list to resolve it).
+func TestHotPathInjectedEscape(t *testing.T) {
+	dir := filepath.Join("testdata", "hotinject")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	src := `// Package hotinject is generated by TestHotPathInjectedEscape.
+package hotinject
+
+import "fmt"
+
+// Decode stands in for the columnar decode loop.
+//bsvet:hotpath
+func Decode(vals []uint64) int {
+	n := 0
+	for _, v := range vals {
+		n += int(v)
+	}
+	_ = fmt.Sprintf("decoded %d", n) // the injected escape
+	return n
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "hotinject.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load("", "./"+dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := NewSuite(NewHotPath(nil))
+	diags := suite.Run(pkgs)
+	if len(diags) != 1 {
+		t.Fatalf("injected escape produced %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.HasSuffix(d.Pos.Filename, "hotinject.go") || d.Pos.Line != 13 {
+		t.Errorf("diagnostic not positioned at the injected escape (line 13): %s", d)
+	}
+	if d.Rule != "hotpath" || !strings.Contains(d.Message, "n escapes to heap") {
+		t.Errorf("diagnostic does not name the escaping value: %s", d)
+	}
+	if !strings.Contains(d.Message, "Decode") {
+		t.Errorf("diagnostic does not name the hotpath function: %s", d)
+	}
+}
+
+// TestLoadBudgetRejectsBadEntries pins the budget-file contract: a
+// missing file, unknown keys, and entries without a reason are all
+// hard errors, never a silently-empty allowance.
+func TestLoadBudgetRejectsBadEntries(t *testing.T) {
+	if _, err := LoadBudget(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing budget file loaded without error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"entries":[{"pkg":"p","func":"F","value":"v"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBudget(bad); err == nil || !strings.Contains(err.Error(), "reason") {
+		t.Errorf("entry without reason loaded, err = %v", err)
+	}
+	unknown := filepath.Join(t.TempDir(), "unknown.json")
+	if err := os.WriteFile(unknown, []byte(`{"allowlist":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBudget(unknown); err == nil {
+		t.Error("budget with unknown keys loaded without error")
+	}
+}
+
+// TestZeroPackagesIsError pins the satellite fix: a wildcard pattern
+// matching no packages at all (go list exits 0 with empty output for
+// those) is a hard load error, not an empty — and trivially passing —
+// analysis run. A nonexistent path stays loud through the other
+// channel: go list -e reports it as an error pseudo-package, which the
+// driver surfaces as a typecheck diagnostic.
+func TestZeroPackagesIsError(t *testing.T) {
+	dir := filepath.Join("testdata", "nogofiles")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("no Go files here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load("", "./"+dir+"/...")
+	if err == nil {
+		t.Fatal("zero-match pattern loaded without error")
+	}
+	if !strings.Contains(err.Error(), "matched no packages") {
+		t.Errorf("zero-match error does not say so: %v", err)
+	}
+
+	pkgs, err := Load("", "./testdata/nonexistent/...")
+	if err != nil {
+		return // also acceptable: the harder failure
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Errs) == 0 {
+		t.Errorf("nonexistent pattern produced neither an error nor an error package: %v", pkgs)
+	}
+}
+
+// TestLoaderCachesPackages pins the load cache: a second Load of the
+// same pattern returns the identical *Pkg, not a re-parse.
+func TestLoaderCachesPackages(t *testing.T) {
+	l := NewLoader()
+	a, err := l.Load("", "./testdata/determ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Load("", "./testdata/determ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("second Load returned a different *Pkg: loader did not cache")
+	}
+}
+
+// TestSuiteTimings pins the per-analyzer timing summary: one entry per
+// analyzer, in suite order, with the surviving-finding counts.
+func TestSuiteTimings(t *testing.T) {
+	pkg := loadTestdata(t, "golife")
+	suite := NewSuite(NewLockDiscipline(), NewGoroutineLifecycle())
+	diags := suite.Run([]*Pkg{pkg})
+	timings := suite.Timings()
+	if len(timings) != 2 {
+		t.Fatalf("got %d timings, want 2", len(timings))
+	}
+	if timings[0].Rule != "lockdiscipline" || timings[1].Rule != "goroutinelifecycle" {
+		t.Errorf("timings out of suite order: %v", timings)
+	}
+	found := 0
+	for _, d := range diags {
+		if d.Rule == "goroutinelifecycle" {
+			found++
+		}
+	}
+	if timings[1].Findings != found {
+		t.Errorf("goroutinelifecycle timing recorded %d findings, diagnostics show %d", timings[1].Findings, found)
+	}
+}
+
 func TestDirectiveErrorsGolden(t *testing.T) {
 	// The determinism analyzer is in the suite so the unsuppressed
 	// findings below the broken directives are exercised too.

@@ -57,6 +57,41 @@ type listPkg struct {
 // enough to locate the breakage without drowning the run.
 const maxTypeErrs = 10
 
+// Loader lists, parses, and type-checks packages, caching everything it
+// resolves: one `go list -deps -export -json` per distinct pattern set,
+// one shared FileSet and dependency importer, and one type-check per
+// target package for the loader's lifetime. A multi-analyzer run (and a
+// test binary loading a dozen testdata packages) pays the toolchain
+// resolution once instead of once per invocation.
+//
+// A Loader is not safe for concurrent use.
+type Loader struct {
+	fset    *token.FileSet
+	exports map[string]string
+	imp     types.Importer
+	pkgs    map[string]*Pkg
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		pkgs:    make(map[string]*Pkg),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	// One importer for the loader's lifetime: loaded dependencies are
+	// cached across target packages and across Load calls.
+	l.imp = importer.ForCompiler(l.fset, "gc", lookup)
+	return l
+}
+
 // Load lists the packages matching patterns (in dir, "" for the
 // current directory), parses their non-test sources, and type-checks
 // them against dependency export data produced by the go toolchain.
@@ -69,8 +104,13 @@ const maxTypeErrs = 10
 // A package that fails to list, parse, or type-check is returned with
 // Errs populated rather than aborting the whole run: bsvet must
 // degrade to a clear file:line error, not a panic, when the tree is
-// broken.
-func Load(dir string, patterns ...string) ([]*Pkg, error) {
+// broken. A pattern set that matches no packages at all is a hard
+// error — a typo in `make analyze` must fail CI, not silently analyze
+// nothing.
+//
+// Packages already resolved by this loader are returned from cache
+// without re-parsing or re-checking.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Pkg, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -84,7 +124,6 @@ func Load(dir string, patterns ...string) ([]*Pkg, error) {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
-	exports := make(map[string]string)
 	var targets []*listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -95,31 +134,35 @@ func Load(dir string, patterns ...string) ([]*Pkg, error) {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			l.exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly {
 			q := p
 			targets = append(targets, &q)
 		}
 	}
-
-	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		e, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(e)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s: matched no packages (a typoed pattern would silently analyze nothing)", strings.Join(patterns, " "))
 	}
-	// One importer for the whole run: loaded dependencies are cached
-	// across target packages.
-	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	var pkgs []*Pkg
 	for _, t := range targets {
-		pkgs = append(pkgs, loadOne(fset, imp, t))
+		if cached, ok := l.pkgs[t.ImportPath]; ok {
+			pkgs = append(pkgs, cached)
+			continue
+		}
+		p := loadOne(l.fset, l.imp, t)
+		l.pkgs[t.ImportPath] = p
+		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
+}
+
+// Load is the one-shot form: a fresh Loader resolving patterns once.
+// Callers issuing repeated loads (the bsvet driver, the golden-test
+// suite) should hold a Loader instead and share its caches.
+func Load(dir string, patterns ...string) ([]*Pkg, error) {
+	return NewLoader().Load(dir, patterns...)
 }
 
 // loadOne parses and type-checks a single listed package.

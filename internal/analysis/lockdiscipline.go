@@ -1,0 +1,489 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// guardsPrefix introduces a guards directive on a struct field:
+//
+//	mu sync.Mutex
+//	//bsvet:guards mu
+//	victims map[string]int
+//
+// declaring that every access to the field must happen while the named
+// mutex (a sibling field of type sync.Mutex or sync.RWMutex) is held.
+const guardsPrefix = "//bsvet:guards"
+
+// LockDiscipline enforces declared mutex invariants. A struct field
+// annotated `//bsvet:guards <mutexField>` may only be read or written
+// inside a function that holds that mutex; the analyzer flags:
+//
+//  1. Any access to a guarded field in a function that neither locks
+//     the mutex (a syntactic <recv>.<mutex>.Lock() or .RLock() call on
+//     a value of the guarded struct's type) nor follows the *Locked
+//     naming convention (a helper named fooLocked is, by repo
+//     convention, only called with the lock held — the same convention
+//     the Go runtime uses).
+//  2. A write to a guarded field in a function that only ever takes
+//     the read lock (RLock): reads may share, writes need Lock.
+//  3. Any access to a guarded field through sync/atomic (or a guards
+//     directive on a field of an atomic.* type): a field is protected
+//     by its mutex or by atomics, never a mixture — mixed access gives
+//     the memory model of neither.
+//
+// The check is method-granular, not flow-sensitive: holding anywhere
+// in the function body counts for the whole body. That is exactly the
+// discipline the annotated structs follow (lock at entry, defer
+// unlock), so anything subtler is a smell worth a diagnostic — or an
+// explicit //bsvet:allow lockdiscipline with its reason.
+//
+// Constructor accesses are exempt: a function that creates the value
+// itself (a composite literal or new() assigned to a local variable)
+// owns it exclusively until it escapes, so initializing guarded fields
+// there is not a violation.
+type LockDiscipline struct{}
+
+// NewLockDiscipline builds the analyzer.
+func NewLockDiscipline() *LockDiscipline { return &LockDiscipline{} }
+
+// Name implements Analyzer.
+func (*LockDiscipline) Name() string { return "lockdiscipline" }
+
+// guardedField is one //bsvet:guards declaration, resolved to types.
+type guardedField struct {
+	structType *types.Named
+	field      *types.Var
+	mutex      *types.Var
+	rw         bool // sync.RWMutex (RLock exists)
+}
+
+// holdKind is how strongly a function holds a mutex.
+type holdKind int
+
+const (
+	holdNone holdKind = iota
+	holdRead
+	holdWrite
+)
+
+// Check implements Analyzer.
+func (l *LockDiscipline) Check(pkg *Pkg) []Diagnostic {
+	guards, out := collectGuards(pkg)
+	if len(guards) == 0 {
+		return out
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, l.checkFunc(pkg, fn, guards)...)
+		}
+	}
+	return out
+}
+
+// mutexTypeName reports which sync mutex type t is ("Mutex",
+// "RWMutex", or ""), looking through one pointer.
+func mutexTypeName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex":
+		return obj.Name()
+	}
+	return ""
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed atomics
+// (atomic.Bool, atomic.Int64, atomic.Pointer[T], …).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// collectGuards parses every //bsvet:guards directive in pkg, resolving
+// the guarded field and its mutex; malformed directives are reported.
+func collectGuards(pkg *Pkg) (map[*types.Var]*guardedField, []Diagnostic) {
+	guards := make(map[*types.Var]*guardedField)
+	var errs []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutexName := ""
+				var dirPos ast.Node
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						fields, ok := directiveFields(c.Text, guardsPrefix)
+						if !ok {
+							continue
+						}
+						if len(fields) != 1 {
+							errs = append(errs, diag(pkg, c.Pos(), "lockdiscipline",
+								"bsvet:guards needs exactly one mutex field name"))
+							continue
+						}
+						mutexName, dirPos = fields[0], c
+					}
+				}
+				if mutexName == "" {
+					continue
+				}
+				if len(field.Names) == 0 {
+					errs = append(errs, diag(pkg, dirPos.Pos(), "lockdiscipline",
+						"bsvet:guards cannot annotate an embedded field"))
+					continue
+				}
+				for _, name := range field.Names {
+					fv, _ := pkg.Info.Defs[name].(*types.Var)
+					if fv == nil {
+						continue
+					}
+					structNamed := namedStructOf(pkg, fv)
+					if structNamed == nil {
+						errs = append(errs, diag(pkg, dirPos.Pos(), "lockdiscipline",
+							"bsvet:guards only applies to fields of named struct types"))
+						continue
+					}
+					if isAtomicType(fv.Type()) {
+						errs = append(errs, diag(pkg, dirPos.Pos(), "lockdiscipline",
+							"field %s is an atomic type; it cannot also be mutex-guarded — pick one discipline", name.Name))
+						continue
+					}
+					mv := structFieldNamed(structNamed, mutexName)
+					if mv == nil {
+						errs = append(errs, diag(pkg, dirPos.Pos(), "lockdiscipline",
+							"bsvet:guards names unknown sibling field %q in struct %s", mutexName, structNamed.Obj().Name()))
+						continue
+					}
+					kind := mutexTypeName(mv.Type())
+					if kind == "" {
+						errs = append(errs, diag(pkg, dirPos.Pos(), "lockdiscipline",
+							"bsvet:guards field %q of struct %s is not a sync.Mutex or sync.RWMutex", mutexName, structNamed.Obj().Name()))
+						continue
+					}
+					guards[fv] = &guardedField{
+						structType: structNamed,
+						field:      fv,
+						mutex:      mv,
+						rw:         kind == "RWMutex",
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards, errs
+}
+
+// namedStructOf resolves the named struct type a field variable belongs
+// to, by scanning the package's named types (a field's types.Var does
+// not point back at its struct).
+func namedStructOf(pkg *Pkg, field *types.Var) *types.Named {
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+// structFieldNamed looks up a direct field of a named struct type.
+func structFieldNamed(named *types.Named, name string) *types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// checkFunc reports guarded-field violations inside one function.
+func (l *LockDiscipline) checkFunc(pkg *Pkg, fn *ast.FuncDecl, guards map[*types.Var]*guardedField) []Diagnostic {
+	holds := holdsOf(pkg, fn, guards)
+	writes := make(map[ast.Expr]bool)
+	fresh := locallyConstructed(pkg, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWriteChain(writes, lhs)
+			}
+		case *ast.IncDecStmt:
+			markWriteChain(writes, n.X)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				// Taking the address lets the callee read or write at
+				// will; treat the whole chain as written.
+				markWriteChain(writes, n.X)
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pkg.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fv, _ := selection.Obj().(*types.Var)
+		g := guards[fv]
+		if g == nil {
+			return true
+		}
+		if base := rootIdent(sel.X); base != nil && fresh[pkg.Info.ObjectOf(base)] {
+			return true // constructor: value not yet shared
+		}
+		if atomicCallArg(pkg, sel) {
+			out = append(out, diag(pkg, sel.Pos(), l.Name(),
+				"field %s of %s is guarded by %s (//bsvet:guards) but accessed via sync/atomic; mixing atomic and mutex access gives the memory model of neither",
+				fv.Name(), g.structType.Obj().Name(), g.mutex.Name()))
+			return true
+		}
+		write := writes[sel]
+		switch holds[g.mutex] {
+		case holdNone:
+			out = append(out, diag(pkg, sel.Pos(), l.Name(),
+				"field %s of %s is guarded by %s (//bsvet:guards) but %s does not hold it; lock %s (or name the helper %sLocked if callers hold it)",
+				fv.Name(), g.structType.Obj().Name(), g.mutex.Name(),
+				fn.Name.Name, g.mutex.Name(), fn.Name.Name))
+		case holdRead:
+			if write {
+				out = append(out, diag(pkg, sel.Pos(), l.Name(),
+					"write to field %s of %s under RLock of %s; writes need the exclusive Lock",
+					fv.Name(), g.structType.Obj().Name(), g.mutex.Name()))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// markWriteChain marks expr and every base it is reached through as
+// written: s.restore.Replayed = x writes through s.restore too.
+func markWriteChain(writes map[ast.Expr]bool, expr ast.Expr) {
+	for {
+		writes[expr] = true
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return
+		}
+	}
+}
+
+// rootIdent returns the identifier at the base of a selector/index
+// chain (nil for call results and other non-identifier bases).
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// holdsOf reports which guard mutexes fn holds, and how strongly. A
+// *Locked-suffixed function is held-by-convention (exclusively); any
+// syntactic <x>.<mutex>.Lock()/RLock() call with x of the guarded
+// struct's type upgrades the kind.
+func holdsOf(pkg *Pkg, fn *ast.FuncDecl, guards map[*types.Var]*guardedField) map[*types.Var]holdKind {
+	holds := make(map[*types.Var]holdKind)
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		for _, g := range guards {
+			holds[g.mutex] = holdWrite
+		}
+		return holds
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var kind holdKind
+		switch method.Sel.Name {
+		case "Lock":
+			kind = holdWrite
+		case "RLock":
+			kind = holdRead
+		default:
+			return true
+		}
+		// method.X must itself be a selector <x>.<mutexField>.
+		musel, ok := method.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pkg.Info.Selections[musel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mv, _ := selection.Obj().(*types.Var)
+		if mv == nil {
+			return true
+		}
+		for _, g := range guards {
+			if g.mutex == mv && kind > holds[mv] {
+				holds[mv] = kind
+			}
+		}
+		return true
+	})
+	return holds
+}
+
+// locallyConstructed reports the local variables fn builds itself from
+// a composite literal or new(): until such a value escapes, its fields
+// are exclusively owned and guard-exempt.
+func locallyConstructed(pkg *Pkg, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.ObjectOf(id)
+			if obj == nil || obj.Parent() == types.Universe {
+				continue
+			}
+			if isFreshValue(assign.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshValue reports whether expr constructs a brand-new value: a
+// composite literal (possibly behind &) or a new() call.
+func isFreshValue(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicCallArg reports whether sel is passed by address to a
+// sync/atomic function (atomic.AddUint64(&x.f, 1) and friends).
+func atomicCallArg(pkg *Pkg, sel *ast.SelectorExpr) bool {
+	// Cheap structural walk upward is unavailable without parent links;
+	// instead detect the idiom at the selector itself: the selector is
+	// an atomic argument iff its address is taken AND the enclosing
+	// call targets sync/atomic. We approximate by scanning the file for
+	// calls whose &-argument is this exact node.
+	path := pkg.Fset.Position(sel.Pos()).Filename
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename != path {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pkg, call)
+			if fn == nil || pkgPathOf(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "&" && ast.Unparen(u.X) == sel {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

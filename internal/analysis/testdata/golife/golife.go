@@ -1,0 +1,73 @@
+// Package golife seeds goroutinelifecycle violations for the golden
+// test: the flagged spawns have no visible shutdown path, and every
+// accepted lifecycle shape below them must stay silent.
+package golife
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Forever loops with no shutdown signal — spawning it leaks.
+func Forever() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Worker drains its channel: closing jobs stops it.
+func Worker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// Spawn exercises the violations and every accepted shutdown shape.
+func Spawn(ctx context.Context, done chan struct{}) {
+	var wg sync.WaitGroup
+
+	go Forever() // want "no visible shutdown path"
+
+	go func() { // want "no visible shutdown path"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// A channel argument is a lifecycle handoff: closing it stops the
+	// worker.
+	go Worker(make(chan int))
+
+	// A context argument likewise.
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+
+	// A receive in the body.
+	go func() {
+		<-done
+	}()
+
+	// A select in the body.
+	go func() {
+		select {
+		case <-done:
+		}
+	}()
+
+	// WaitGroup participation: the package waits for this goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	// The sanctioned forever loop, suppressed with its reason.
+	//bsvet:allow goroutinelifecycle seeded forever loop, suppressed by design
+	go Forever()
+
+	// A directive anywhere in the statement's comment group covers it,
+	//bsvet:allow goroutinelifecycle directive inside a longer comment group
+	// even when trailing prose pushes it more than one line above.
+	go Forever()
+}

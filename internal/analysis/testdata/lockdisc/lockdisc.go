@@ -1,0 +1,113 @@
+// Package lockdisc seeds lockdiscipline violations for the golden
+// test: every // want comment pins one diagnostic at its exact line,
+// and every unannotated access pattern below must stay silent.
+package lockdisc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Box carries two mutex-guarded fields.
+type Box struct {
+	mu sync.Mutex
+	//bsvet:guards mu
+	n int
+	//bsvet:guards mu
+	items map[string]int
+}
+
+// NewBox initializes guarded fields without holding mu: the
+// constructor exemption (the value has not been shared yet).
+func NewBox() *Box {
+	b := &Box{}
+	b.n = 1
+	b.items = make(map[string]int)
+	return b
+}
+
+// Bump holds the lock for the whole body: clean.
+func (b *Box) Bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	b.items["x"] = b.n
+}
+
+// bumpLocked follows the *Locked convention: callers hold mu.
+func (b *Box) bumpLocked() { b.n++ }
+
+// Racy reads a guarded field with no lock anywhere in the function.
+func (b *Box) Racy() int {
+	return b.n // want "field n of Box is guarded by mu"
+}
+
+// RacyWrite writes a guarded field with no lock.
+func (b *Box) RacyWrite(k string) {
+	b.items[k] = 0 // want "field items of Box is guarded by mu"
+}
+
+// Allowed suppresses the finding with a reasoned directive.
+func (b *Box) Allowed() int {
+	return b.n //bsvet:allow lockdiscipline single-goroutine test helper, never shared
+}
+
+// RBox guards a field with an RWMutex.
+type RBox struct {
+	rw sync.RWMutex
+	//bsvet:guards rw
+	v int
+}
+
+// Read shares the lock for a read: clean.
+func (r *RBox) Read() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.v
+}
+
+// WriteUnderRead takes only the read lock but writes.
+func (r *RBox) WriteUnderRead() {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.v = 7 // want "write to field v of RBox under RLock"
+}
+
+// ABox declares a mutex-guarded counter that a method then touches
+// through sync/atomic — the mixed-discipline violation.
+type ABox struct {
+	mu sync.Mutex
+	//bsvet:guards mu
+	ctr uint64
+}
+
+// MixedAtomic holds the lock and still goes through sync/atomic.
+func (a *ABox) MixedAtomic() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	atomic.AddUint64(&a.ctr, 1) // want "accessed via sync/atomic"
+}
+
+// BadGuards seeds every malformed-directive shape.
+type BadGuards struct {
+	mu sync.Mutex
+	//bsvet:guards nosuch
+	// want:-1 "unknown sibling field"
+	x int
+	//bsvet:guards y
+	// want:-1 "not a sync.Mutex"
+	w int
+	//bsvet:guards mu extra
+	// want:-1 "needs exactly one mutex field name"
+	z int
+	y int
+}
+
+// AtomicGuard declares guards on a field that is already an atomic —
+// one discipline or the other, never both.
+type AtomicGuard struct {
+	mu sync.Mutex
+	//bsvet:guards mu
+	// want:-1 "cannot also be mutex-guarded"
+	c atomic.Uint64
+}

@@ -102,6 +102,8 @@ func (c *Classifier) Add(r *flow.Record) bool {
 // AddCols feeds row i of a columnar slab: the optimistic pre-filter
 // runs on the columns and only accepted rows pay for materializing a
 // record (the per-destination aggregation still wants one).
+//
+//bsvet:hotpath
 func (c *Classifier) AddCols(cols *flow.Columns, i int) bool {
 	// c.cfg is already defaulted (New), so apply the predicate directly.
 	if !IsNTPFlowCols(cols, i) || cols.AvgPacketSize(i) <= c.cfg.SizeThreshold {
@@ -397,6 +399,8 @@ func (a *AttackCounter) Add(r *flow.Record) {
 // AddCols is Add over row i of a columnar slab: the filter, the minute
 // truncation, and both map keys come straight from the column vectors
 // — the counter's hot path never materializes a flow.Record.
+//
+//bsvet:hotpath
 func (a *AttackCounter) AddCols(c *flow.Columns, i int) {
 	if !IsNTPFlowCols(c, i) || c.AvgPacketSize(i) <= a.cfg.SizeThreshold {
 		return

@@ -42,8 +42,10 @@ type Coordinator struct {
 	vantages []vantageStore
 	opts     Options
 
-	mu      sync.Mutex
-	last    FederatedStats
+	mu sync.Mutex
+	//bsvet:guards mu
+	last FederatedStats
+	//bsvet:guards mu
 	hasLast bool
 }
 

@@ -233,10 +233,12 @@ type decoderMetrics struct {
 // Decoder parses IPFIX messages, keeping per-domain template state and
 // sequence-gap accounting.
 type Decoder struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	//bsvet:guards mu
 	templates map[uint64][]fieldSpec
-	domains   map[uint32]*domainState
-	m         decoderMetrics
+	//bsvet:guards mu
+	domains map[uint32]*domainState
+	m       decoderMetrics
 }
 
 // NewDecoder returns an empty decoder.
@@ -280,7 +282,7 @@ func (d *Decoder) DomainStats() map[uint32]DomainStats {
 	return out
 }
 
-func (d *Decoder) domain(id uint32) *domainState {
+func (d *Decoder) domainLocked(id uint32) *domainState {
 	st, ok := d.domains[id]
 	if !ok {
 		st = &domainState{seen: make(map[uint32]struct{})}
@@ -326,12 +328,12 @@ func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
 		content := b[off+setHeaderLen : off+setLen]
 		switch {
 		case setID == templateSetID:
-			if err := d.parseTemplates(domain, content); err != nil {
+			if err := d.parseTemplatesLocked(domain, content); err != nil {
 				return nil, err
 			}
 			templateSets++
 		case setID >= minDataSetID:
-			recs, err := d.parseData(domain, setID, content)
+			recs, err := d.parseDataLocked(domain, setID, content)
 			if errors.Is(err, ErrNoTemplate) {
 				unknownSets++
 				break
@@ -354,7 +356,7 @@ func (d *Decoder) Decode(b []byte) ([]flow.Record, error) {
 // account updates the domain's sequence and drop accounting for one
 // parsed message carrying n decoded records. Callers hold d.mu.
 func (d *Decoder) account(domain, seq uint32, n, unknownSets int) {
-	st := d.domain(domain)
+	st := d.domainLocked(domain)
 	st.stats.Messages++
 	st.stats.Records += uint64(n)
 	d.m.messages.Inc()
@@ -408,7 +410,7 @@ func (d *Decoder) account(domain, seq uint32, n, unknownSets int) {
 	st.remember(seq)
 }
 
-func (d *Decoder) parseTemplates(domain uint32, b []byte) error {
+func (d *Decoder) parseTemplatesLocked(domain uint32, b []byte) error {
 	off := 0
 	for off+4 <= len(b) {
 		tid := binary.BigEndian.Uint16(b[off:])
@@ -430,7 +432,7 @@ func (d *Decoder) parseTemplates(domain uint32, b []byte) error {
 	return nil
 }
 
-func (d *Decoder) parseData(domain uint32, tid uint16, b []byte) ([]flow.Record, error) {
+func (d *Decoder) parseDataLocked(domain uint32, tid uint16, b []byte) ([]flow.Record, error) {
 	fields, ok := d.templates[uint64(domain)<<16|uint64(tid)]
 	if !ok {
 		return nil, ErrNoTemplate

@@ -65,9 +65,11 @@ func newExporterMetrics() exporterMetrics {
 // transient send errors with exponential backoff and re-dialing the
 // collector between attempts.
 type Exporter struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	dial  func() (net.Conn, error)
+	mu sync.Mutex
+	//bsvet:guards mu
+	conn net.Conn
+	dial func() (net.Conn, error)
+	//bsvet:guards mu
 	enc   Encoder
 	retry RetryPolicy
 	sleep func(time.Duration)
@@ -171,7 +173,7 @@ func (e *Exporter) Export(records []flow.Record, exportTime time.Time) error {
 			e.m.backoff.ObserveDuration(delay)
 			e.m.attempts.With(strconv.Itoa(a)).Inc()
 			e.sleep(delay)
-			e.redial()
+			e.redialLocked()
 		}
 		if _, err := e.conn.Write(msg); err != nil {
 			lastErr = err
@@ -188,10 +190,10 @@ func (e *Exporter) Export(records []flow.Record, exportTime time.Time) error {
 	return fmt.Errorf("ipfix: sending message (%d attempts): %w", attempts, lastErr)
 }
 
-// redial replaces the socket before a retry. A fresh socket may reach a
-// restarted collector with empty template state, so the template is
-// re-sent with the next message.
-func (e *Exporter) redial() {
+// redialLocked replaces the socket before a retry; callers hold e.mu.
+// A fresh socket may reach a restarted collector with empty template
+// state, so the template is re-sent with the next message.
+func (e *Exporter) redialLocked() {
 	if e.dial == nil {
 		return
 	}
@@ -247,7 +249,8 @@ type Collector struct {
 	// queue is the live ingest queue, retained for depth probes.
 	queue chan []byte
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//bsvet:guards mu
 	closed bool
 }
 

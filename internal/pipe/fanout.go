@@ -81,8 +81,9 @@ type FanOut struct {
 	barrierResumed sync.WaitGroup
 	barrierRelease chan struct{}
 
-	failed   atomic.Bool
-	errMu    sync.Mutex
+	failed atomic.Bool
+	errMu  sync.Mutex
+	//bsvet:guards errMu
 	firstErr error
 }
 
@@ -189,6 +190,8 @@ func (f *FanOut) Process(b *Batch) error {
 // routeRows is the row routing loop. Pending slabs keep whatever shape
 // their first append gave them — a record landing on a column-shaped
 // slab is appended column-wise, never mixed in as a row.
+//
+//bsvet:hotpath
 func (f *FanOut) routeRows(recs []flow.Record) error {
 	n := uint64(len(f.shards))
 	stamp := f.markIf != nil
@@ -236,6 +239,8 @@ func (f *FanOut) routeRows(recs []flow.Record) error {
 // per shard per batch instead of 17 slice appends per record. Pending
 // slabs flush after the batch, so they can briefly exceed
 // DefaultBatchSize; stages are batch-size agnostic by contract.
+//
+//bsvet:hotpath
 func (f *FanOut) routeCols(c *flow.Columns) error {
 	m := c.Len()
 	if m == 0 {

@@ -56,14 +56,18 @@ type suppressedTotals struct {
 // Mitigator tracks per-victim alert counts and the active FlowSpec
 // rules. Alerts arrive concurrently from shard workers.
 type Mitigator struct {
-	mu     sync.Mutex
-	opts   MitigationOptions
+	mu   sync.Mutex
+	opts MitigationOptions
+	//bsvet:guards mu
 	counts map[netip.Addr]int
-	rules  map[netip.Addr]bgp.FlowSpecRule
+	//bsvet:guards mu
+	rules map[netip.Addr]bgp.FlowSpecRule
 	// ids joins each victim to its attack's lifecycle ID so announce,
 	// suppression, and withdraw events link into the same timeline the
 	// classifier opened.
-	ids        map[netip.Addr]uint64
+	//bsvet:guards mu
+	ids map[netip.Addr]uint64
+	//bsvet:guards mu
 	suppressed map[netip.Addr]*suppressedTotals
 	// active mirrors len(rules) so the ingest hot path can skip
 	// suppression accounting without taking the lock.
@@ -190,9 +194,9 @@ func containsAddr(addrs []netip.Addr, v netip.Addr) bool {
 	return false
 }
 
-// sortedVictims returns the active-rule victims in byte order, so
+// sortedVictimsLocked returns the active-rule victims in byte order, so
 // withdrawal and listing never leak map iteration order into output.
-func (mt *Mitigator) sortedVictims() []netip.Addr {
+func (mt *Mitigator) sortedVictimsLocked() []netip.Addr {
 	out := make([]netip.Addr, 0, len(mt.rules))
 	for v := range mt.rules {
 		out = append(out, v)
@@ -208,7 +212,7 @@ func (mt *Mitigator) sortedVictims() []netip.Addr {
 func (mt *Mitigator) ActiveRules() []bgp.FlowSpecRule {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
-	victims := mt.sortedVictims()
+	victims := mt.sortedVictimsLocked()
 	out := make([]bgp.FlowSpecRule, 0, len(victims))
 	for _, v := range victims {
 		out = append(out, mt.rules[v])
@@ -221,7 +225,7 @@ func (mt *Mitigator) ActiveRules() []bgp.FlowSpecRule {
 func (mt *Mitigator) WithdrawAll() []bgp.FlowSpecRule {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
-	victims := mt.sortedVictims()
+	victims := mt.sortedVictimsLocked()
 	out := make([]bgp.FlowSpecRule, 0, len(victims))
 	for _, v := range victims {
 		rule := mt.rules[v]

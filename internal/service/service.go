@@ -133,11 +133,16 @@ type Service struct {
 	tracer  *telemetry.Tracer
 	detect  *telemetry.Histogram
 
-	mu         sync.Mutex
-	restore    RestoreReport
-	draining   bool
-	drainRep   *DrainReport
-	drainErr   error
+	mu sync.Mutex
+	//bsvet:guards mu
+	restore RestoreReport
+	//bsvet:guards mu
+	draining bool
+	//bsvet:guards mu
+	drainRep *DrainReport
+	//bsvet:guards mu
+	drainErr error
+	//bsvet:guards mu
 	sampleTick uint64
 }
 

@@ -16,8 +16,10 @@ type Dashboard struct {
 	w        io.Writer
 	interval time.Duration
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	//bsvet:guards mu
 	stop chan struct{}
+	//bsvet:guards mu
 	done chan struct{}
 	last map[string]uint64 // counter values at the previous render, for rates
 	prev time.Time

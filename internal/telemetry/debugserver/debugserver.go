@@ -198,6 +198,7 @@ func StartWith(addr string, reg *telemetry.Registry, extra map[string]http.Handl
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
+	//bsvet:allow goroutinelifecycle Serve returns when Close/Shutdown closes the listener; the http.Server is the lifecycle
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

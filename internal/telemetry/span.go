@@ -24,10 +24,13 @@ type SpanRecord struct {
 type Tracer struct {
 	reg *Registry
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	//bsvet:guards mu
 	ring []SpanRecord
-	pos  int
-	n    int
+	//bsvet:guards mu
+	pos int
+	//bsvet:guards mu
+	n int
 }
 
 // Tracer returns the registry's span tracer, creating it on first use.

@@ -262,7 +262,8 @@ type CounterVec struct {
 	labels  []string
 	maxCard int
 
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	//bsvet:guards mu
 	children map[string]*vecChild
 	overflow atomic.Uint64
 }
@@ -381,10 +382,13 @@ type entry struct {
 // Registry is a named collection of metrics. The zero value is not
 // usable; construct with NewRegistry or use Default.
 type Registry struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//bsvet:guards mu
 	entries map[string]*entry
-	order   []string // registration order, for stable dashboards
-	tracer  *Tracer
+	//bsvet:guards mu
+	order []string // registration order, for stable dashboards
+	//bsvet:guards mu
+	tracer *Tracer
 }
 
 // NewRegistry returns an empty registry.
